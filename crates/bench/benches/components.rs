@@ -1,0 +1,120 @@
+//! Component microbenchmarks: the hot paths of the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldsim_gddr5::{Channel, MerbTable};
+use ldsim_gpu::cache::{Cache, Mshr};
+use ldsim_gpu::coalescer::coalesce_into;
+use ldsim_types::addr::AddressMapper;
+use ldsim_types::clock::ClockDomain;
+use ldsim_types::config::{GpuConfig, MemConfig, TimingParams};
+use ldsim_types::ids::{BankId, LaneMask};
+
+fn bench_addr_decode(c: &mut Criterion) {
+    let m = AddressMapper::new(&MemConfig::default(), 128);
+    let mut x = 0x9E37_79B9u64;
+    c.bench_function("addr/decode", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(m.decode(x & 0x3FFF_FFFF))
+        })
+    });
+    c.bench_function("addr/same_row_lines", |b| {
+        b.iter(|| black_box(m.same_row_lines(black_box(0x1234_5600))))
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut divergent = [0u64; 32];
+    for (l, a) in divergent.iter_mut().enumerate() {
+        *a = (l as u64) * 4096;
+    }
+    let mut unit = [0u64; 32];
+    for (l, a) in unit.iter_mut().enumerate() {
+        *a = 0x1000 + 4 * l as u64;
+    }
+    let mut scratch = Vec::with_capacity(32);
+    c.bench_function("coalescer/divergent_32", |b| {
+        b.iter(|| coalesce_into(black_box(&divergent), LaneMask::ALL, 7, &mut scratch))
+    });
+    c.bench_function("coalescer/unit_stride", |b| {
+        b.iter(|| coalesce_into(black_box(&unit), LaneMask::ALL, 7, &mut scratch))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut cache = Cache::new(&cfg.l2_slice);
+    for l in 0..2048u64 {
+        cache.fill(l, l % 3 == 0);
+    }
+    let mut x = 1u64;
+    c.bench_function("cache/probe_l2", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(48271) % 4096;
+            black_box(cache.probe(x, false))
+        })
+    });
+    let mut mshr: Mshr<u32> = Mshr::new(96);
+    c.bench_function("cache/mshr_register_fill", |b| {
+        b.iter(|| {
+            mshr.register(black_box(7), 1);
+            black_box(mshr.fill(7))
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mem = MemConfig::default();
+    let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+    c.bench_function("channel/row_hit_stream", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&mem, t);
+            let mut now = 0;
+            ch.issue_act(BankId(0), 1, now);
+            now += t.t_rcd;
+            for _ in 0..16 {
+                while !ch.can_read(BankId(0), now) {
+                    now += 1;
+                }
+                ch.issue_read(BankId(0), now);
+            }
+            black_box(ch.stats.reads)
+        })
+    });
+    c.bench_function("channel/bank_interleaved_misses", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&mem, t);
+            let mut now = 0;
+            for bank in 0..16u8 {
+                while !ch.can_act(BankId(bank), now) {
+                    now += 1;
+                }
+                ch.issue_act(BankId(bank), 3, now);
+            }
+            for bank in 0..16u8 {
+                while !ch.can_read(BankId(bank), now) {
+                    now += 1;
+                }
+                ch.issue_read(BankId(bank), now);
+            }
+            black_box(now)
+        })
+    });
+}
+
+fn bench_merb(c: &mut Criterion) {
+    let t = TimingParams::default();
+    c.bench_function("merb/from_timing", |b| {
+        b.iter(|| black_box(MerbTable::from_timing(&t, ClockDomain::GDDR5, 16)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_addr_decode,
+    bench_coalescer,
+    bench_cache,
+    bench_channel,
+    bench_merb
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Scheduler benchmarks: per-decision cost of each transaction-scheduling
+//! policy on a loaded queue, and end-to-end simulator throughput per
+//! scheme (one short irregular kernel per iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ldsim_gddr5::MerbTable;
+use ldsim_memctrl::{GroupTracker, Policy, PolicyView};
+use ldsim_system::Simulator;
+use ldsim_types::addr::AddressMapper;
+use ldsim_types::clock::ClockDomain;
+use ldsim_types::config::{MemConfig, SchedulerKind, SimConfig};
+use ldsim_types::ids::{GlobalWarpId, RequestId, WarpGroupId};
+use ldsim_types::req::{MemRequest, ReqKind};
+use ldsim_warpsched::make_policy;
+use ldsim_workloads::{benchmark, Scale};
+
+/// Fill a policy with a realistic 64-entry backlog (mixed warp-groups).
+fn loaded_policy(kind: SchedulerKind) -> (Box<dyn Policy>, GroupTracker) {
+    let mem = MemConfig::default();
+    let mapper = AddressMapper::new(&mem, 128);
+    let mut policy = make_policy(kind, &mem);
+    let mut groups = GroupTracker::default();
+    let mut id = 0u64;
+    for w in 0..16u16 {
+        let size = 1 + (w % 6);
+        for r in 0..size {
+            id += 1;
+            let addr = ((w as u64 * 977 + r as u64 * 131) % (1 << 22)) * 256;
+            let req = MemRequest {
+                id: RequestId(id),
+                kind: ReqKind::Read,
+                line_addr: mapper.line_addr(addr),
+                decoded: mapper.decode(addr),
+                wg: WarpGroupId::new(GlobalWarpId::new(w, 0), 0),
+                last_of_group: r + 1 == size,
+                group_size_on_channel: size,
+                issue_cycle: 0,
+                arrival_cycle: id,
+            };
+            groups.on_arrival(&req);
+            policy.on_arrival(req, id);
+        }
+    }
+    (policy, groups)
+}
+
+fn bench_policy_decisions(c: &mut Criterion) {
+    let mem = MemConfig::default();
+    let merb = MerbTable::from_timing(&mem.timing, ClockDomain::GDDR5, 16);
+    let mut group = c.benchmark_group("policy_pick");
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfs,
+        SchedulerKind::Gmc,
+        SchedulerKind::Wafcfs,
+        SchedulerKind::Sbwas { alpha_q: 2 },
+        SchedulerKind::Wg,
+        SchedulerKind::WgM,
+        SchedulerKind::WgBw,
+        SchedulerKind::WgW,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || loaded_policy(kind),
+                |(mut policy, groups)| {
+                    let banks = vec![
+                        ldsim_memctrl::BankSnapshot {
+                            headroom: 8,
+                            ..Default::default()
+                        };
+                        16
+                    ];
+                    let view = PolicyView {
+                        now: 1000,
+                        banks: &banks,
+                        groups: &groups,
+                        write_q_len: 0,
+                        write_hi: 32,
+                        wgw_margin: 8,
+                        merb: &merb,
+                    };
+                    // Drain the whole backlog: 64 scheduling decisions.
+                    while let Some(r) = policy.pick(&view) {
+                        black_box(r);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let kernel = benchmark("bfs", Scale::Tiny, 5).generate();
+    let mut group = c.benchmark_group("full_system_tiny_bfs");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Gmc, SchedulerKind::WgW] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::default().with_scheduler(kind);
+                black_box(Simulator::new(cfg, &kernel).run().cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_decisions, bench_full_system);
+criterion_main!(benches);

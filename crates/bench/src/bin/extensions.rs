@@ -1,0 +1,53 @@
+//! Extensions beyond the paper's evaluation:
+//!
+//! * **ATLAS-lite** (Section VI-C.3's other CPU scheduler): epoch-based
+//!   least-attained-service — the paper argues its coordination is too
+//!   coarse for warp-groups;
+//! * **WG-S** (Section VIII, the paper's future work): WG-W that also
+//!   prioritises warp-groups whose lines are shared by multiple warps.
+
+use ldsim_bench::{cli, dump_json};
+use ldsim_system::runner::{cell, irregular_names, run_grid};
+use ldsim_system::table::{f3, Table};
+use ldsim_types::config::SchedulerKind;
+use ldsim_types::stats::geomean;
+
+fn main() {
+    let (scale, seed) = cli();
+    let benches = irregular_names();
+    let kinds = [
+        SchedulerKind::Gmc,
+        SchedulerKind::AtlasLite,
+        SchedulerKind::WgW,
+        SchedulerKind::WgShared,
+    ];
+    let grid = run_grid(&benches, &kinds, scale, seed);
+    let mut t = Table::new(&["benchmark", "ATLAS/GMC", "WG-W/GMC", "WG-S/GMC"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for b in &benches {
+        let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
+        let mut row = vec![b.to_string()];
+        for (i, k) in [
+            SchedulerKind::AtlasLite,
+            SchedulerKind::WgW,
+            SchedulerKind::WgShared,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let x = cell(&grid, b, *k).ipc() / base;
+            cols[i].push(x);
+            row.push(f3(x));
+        }
+        t.row(row);
+    }
+    t.row(vec![
+        "GMEAN".into(),
+        f3(geomean(&cols[0])),
+        f3(geomean(&cols[1])),
+        f3(geomean(&cols[2])),
+    ]);
+    println!("Extensions — ATLAS-lite (VI-C.3) and WG-S (Section VIII future work)\n");
+    t.print();
+    dump_json("extensions", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+}

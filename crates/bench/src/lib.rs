@@ -1,0 +1,73 @@
+//! Shared harness code for the experiment binaries (one per paper table /
+//! figure) and the criterion microbenches.
+//!
+//! Every binary accepts an optional scale argument (`tiny` / `small` /
+//! `full`, default `small`) and an optional `--seed N`; results print as
+//! text tables (the same rows/series the paper plots) and are also appended
+//! as JSON lines to `results/<figure>.jsonl` for EXPERIMENTS.md provenance.
+
+use ldsim_system::RunResult;
+use ldsim_workloads::Scale;
+use std::io::Write;
+
+/// Parse `[tiny|small|full]` and `--seed N` from argv.
+pub fn cli() -> (Scale, u64) {
+    let mut scale = Scale::Small;
+    let mut seed = 1u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "tiny" => scale = Scale::Tiny,
+            "small" => scale = Scale::Small,
+            "full" => scale = Scale::Full,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => panic!("unknown argument '{other}' (expected tiny|small|full|--seed N)"),
+        }
+        i += 1;
+    }
+    (scale, seed)
+}
+
+/// Append run results as JSON lines under `results/`.
+pub fn dump_json(figure: &str, results: &[&RunResult]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{figure}.jsonl"));
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    for r in results {
+        if let Ok(line) = serde_json::to_string(r) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Geometric-mean speedup of `xs` over `base` (paired by index).
+pub fn gmean_speedup(xs: &[f64], base: &[f64]) -> f64 {
+    assert_eq!(xs.len(), base.len());
+    let ratios: Vec<f64> = xs.iter().zip(base).map(|(x, b)| x / b).collect();
+    ldsim_types::stats::geomean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_speedup_pairs() {
+        let s = gmean_speedup(&[2.0, 2.0], &[1.0, 1.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+        let s = gmean_speedup(&[4.0, 1.0], &[1.0, 1.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! The inter-controller coordination network (Section IV-C).
+//!
+//! A narrow all-to-all network — the paper assumes 30 links of 16 bits for
+//! 6 controllers. When a controller selects a warp-group it broadcasts a
+//! 32-bit message (SM id, warp id, local completion score) to the other
+//! five controllers. We model serialisation (2 cycles for 32 bits over a
+//! 16-bit link) plus propagation as a fixed per-message latency, configured
+//! by [`ldsim_types::MemConfig::coord_latency`].
+
+use ldsim_memctrl::CoordMsg;
+use ldsim_types::clock::Cycle;
+use std::collections::VecDeque;
+
+/// An in-flight broadcast: `msg` from `src`, delivered to every other
+/// controller at `deliver_at`.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    deliver_at: Cycle,
+    src: usize,
+    msg: CoordMsg,
+}
+
+/// The all-to-all score-coordination network between memory controllers.
+#[derive(Debug)]
+pub struct CoordNetwork {
+    latency: Cycle,
+    num_ctrls: usize,
+    in_flight: VecDeque<InFlight>,
+    /// Total broadcasts sent (each reaches `num_ctrls - 1` receivers).
+    pub messages_sent: u64,
+}
+
+impl CoordNetwork {
+    pub fn new(num_ctrls: usize, latency: Cycle) -> Self {
+        Self {
+            latency,
+            num_ctrls,
+            in_flight: VecDeque::new(),
+            messages_sent: 0,
+        }
+    }
+
+    /// Controller `src` broadcasts `msg` at cycle `now`.
+    pub fn broadcast(&mut self, src: usize, msg: CoordMsg, now: Cycle) {
+        self.messages_sent += 1;
+        self.in_flight.push_back(InFlight {
+            deliver_at: now + self.latency,
+            src,
+            msg,
+        });
+    }
+
+    /// Pop every delivery due at or before `now`; the callback receives
+    /// `(destination controller, message)` for each of the `num_ctrls - 1`
+    /// receivers of each due broadcast.
+    pub fn deliver(&mut self, now: Cycle, mut sink: impl FnMut(usize, CoordMsg)) {
+        while let Some(f) = self.in_flight.front() {
+            if f.deliver_at > now {
+                break;
+            }
+            let f = self.in_flight.pop_front().unwrap();
+            for dst in 0..self.num_ctrls {
+                if dst != f.src {
+                    sink(dst, f.msg);
+                }
+            }
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_types::ids::{GlobalWarpId, WarpGroupId};
+
+    fn msg(score: u32) -> CoordMsg {
+        CoordMsg {
+            wg: WarpGroupId::new(GlobalWarpId::new(1, 2), 3),
+            score,
+        }
+    }
+
+    #[test]
+    fn delivers_to_all_but_source_after_latency() {
+        let mut net = CoordNetwork::new(6, 4);
+        net.broadcast(2, msg(7), 100);
+        let mut got = Vec::new();
+        net.deliver(103, |d, m| got.push((d, m.score)));
+        assert!(got.is_empty(), "too early");
+        net.deliver(104, |d, m| got.push((d, m.score)));
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&(d, _)| d != 2));
+        assert!(got.iter().all(|&(_, s)| s == 7));
+        assert_eq!(net.pending(), 0);
+        assert_eq!(net.messages_sent, 1);
+    }
+
+    #[test]
+    fn preserves_order_of_due_messages() {
+        let mut net = CoordNetwork::new(3, 1);
+        net.broadcast(0, msg(1), 10);
+        net.broadcast(1, msg(2), 11);
+        let mut scores = Vec::new();
+        net.deliver(12, |_, m| scores.push(m.score));
+        assert_eq!(scores, vec![1, 1, 2, 2]);
+    }
+}

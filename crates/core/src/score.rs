@@ -1,0 +1,198 @@
+//! Bank-Table scoring (Section IV-B.1).
+//!
+//! The score of a warp-group estimates its completion latency at this
+//! controller:
+//!
+//! * each of the group's requests scores 1 if it will be a row hit (the
+//!   bank's last-scheduled row matches) or 3 if a miss — the 12 ns vs 36 ns
+//!   DRAM array latencies;
+//! * per bank, the group's requests stack on top of the *queuing score* of
+//!   everything already sitting in that bank's command queue;
+//! * the group's score is the **maximum** over the banks it touches — the
+//!   completion time of its slowest request;
+//! * ties are broken toward the group with the most row hits (Section
+//!   IV-B.1: row hits minimise DRAM power).
+
+use ldsim_memctrl::PolicyView;
+use ldsim_types::req::MemRequest;
+
+/// Evaluated score of one warp-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupScore {
+    /// Max-over-banks completion estimate. Lower is better.
+    pub score: u32,
+    /// Row hits in the group (tie-breaker: more is better).
+    pub hits: u32,
+}
+
+impl GroupScore {
+    /// Strict-weak ordering used by the transaction scheduler: lowest score
+    /// first; ties -> most hits first.
+    #[inline]
+    pub fn better_than(&self, other: &GroupScore) -> bool {
+        self.score < other.score || (self.score == other.score && self.hits > other.hits)
+    }
+}
+
+/// Score a group's request list against the current controller state.
+///
+/// `scratch` must be a zeroed slice at least as long as `view.banks`; it is
+/// re-zeroed before return so the caller can reuse it across calls without
+/// reallocating (hot path: runs for every live group, every scheduling
+/// decision).
+pub fn group_score(reqs: &[MemRequest], view: &PolicyView<'_>, scratch: &mut [u32]) -> GroupScore {
+    debug_assert!(scratch.len() >= view.banks.len());
+    debug_assert!(scratch.iter().all(|&x| x == 0));
+    let mut touched: [u16; 48] = [0; 48];
+    let mut ntouched = 0usize;
+    let mut hits = 0u32;
+    for r in reqs {
+        let b = r.decoded.bank.0 as usize;
+        if scratch[b] == 0 {
+            // First request of the group on this bank: base is the bank's
+            // queued score. +1 biases all entries so "untouched" stays 0.
+            scratch[b] = view.banks[b].queue_score + 1;
+            touched[ntouched] = b as u16;
+            ntouched += 1;
+        }
+        let s = view.array_score(&r.decoded);
+        if s == ldsim_memctrl::SCORE_HIT {
+            hits += 1;
+        }
+        scratch[b] += s;
+    }
+    let mut max = 0u32;
+    for &b in &touched[..ntouched] {
+        max = max.max(scratch[b as usize] - 1);
+        scratch[b as usize] = 0;
+    }
+    GroupScore { score: max, hits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_memctrl::{BankSnapshot, GroupTracker};
+    use ldsim_gddr5::MerbTable;
+    use ldsim_types::addr::DecodedAddr;
+    use ldsim_types::clock::ClockDomain;
+    use ldsim_types::config::TimingParams;
+    use ldsim_types::ids::{BankId, ChannelId, GlobalWarpId, RequestId, WarpGroupId};
+    use ldsim_types::req::ReqKind;
+
+    fn req_at(bank: u8, row: u32) -> MemRequest {
+        MemRequest {
+            id: RequestId(0),
+            kind: ReqKind::Read,
+            line_addr: 0,
+            decoded: DecodedAddr {
+                channel: ChannelId(0),
+                bank: BankId(bank),
+                bank_group: bank / 4,
+                row,
+                col: 0,
+            },
+            wg: WarpGroupId::new(GlobalWarpId::new(0, 0), 0),
+            last_of_group: false,
+            group_size_on_channel: 1,
+            issue_cycle: 0,
+            arrival_cycle: 0,
+        }
+    }
+
+    struct Fix {
+        banks: Vec<BankSnapshot>,
+        groups: GroupTracker,
+        merb: MerbTable,
+    }
+
+    impl Fix {
+        fn new() -> Self {
+            Self {
+                banks: vec![BankSnapshot::default(); 16],
+                groups: GroupTracker::default(),
+                merb: MerbTable::from_timing(&TimingParams::default(), ClockDomain::GDDR5, 16),
+            }
+        }
+        fn view(&self) -> PolicyView<'_> {
+            PolicyView {
+                now: 0,
+                banks: &self.banks,
+                groups: &self.groups,
+                write_q_len: 0,
+                write_hi: 32,
+                wgw_margin: 8,
+                merb: &self.merb,
+            }
+        }
+    }
+
+    #[test]
+    fn all_hits_score_low() {
+        let mut f = Fix::new();
+        f.banks[2].last_scheduled_row = Some(9);
+        let reqs = vec![req_at(2, 9), req_at(2, 9), req_at(2, 9)];
+        let mut scratch = vec![0u32; 16];
+        let s = group_score(&reqs, &f.view(), &mut scratch);
+        assert_eq!(s.score, 3); // three stacked hits on one bank
+        assert_eq!(s.hits, 3);
+        assert!(scratch.iter().all(|&x| x == 0), "scratch re-zeroed");
+    }
+
+    #[test]
+    fn misses_score_three_each() {
+        let f = Fix::new();
+        let reqs = vec![req_at(0, 5), req_at(1, 5)];
+        let mut scratch = vec![0u32; 16];
+        let s = group_score(&reqs, &f.view(), &mut scratch);
+        // Parallel misses on two banks: max = 3, not 6.
+        assert_eq!(s.score, 3);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn queue_score_stacks_under_group() {
+        let mut f = Fix::new();
+        f.banks[4].queue_score = 10;
+        let reqs = vec![req_at(4, 1)];
+        let mut scratch = vec![0u32; 16];
+        let s = group_score(&reqs, &f.view(), &mut scratch);
+        assert_eq!(s.score, 13); // 10 queued + 3 (miss)
+    }
+
+    #[test]
+    fn max_over_banks_captures_slowest() {
+        let mut f = Fix::new();
+        f.banks[0].queue_score = 1;
+        f.banks[7].queue_score = 20;
+        let reqs = vec![req_at(0, 1), req_at(7, 1)];
+        let mut scratch = vec![0u32; 16];
+        let s = group_score(&reqs, &f.view(), &mut scratch);
+        assert_eq!(s.score, 23);
+    }
+
+    #[test]
+    fn fewer_requests_is_not_always_shorter() {
+        // The paper's point (Section IV-B): a group with ONE miss on a busy
+        // bank is a longer job than a group with FOUR hits on an idle bank.
+        let mut f = Fix::new();
+        f.banks[3].queue_score = 12;
+        f.banks[5].last_scheduled_row = Some(2);
+        let one_miss_busy = vec![req_at(3, 1)];
+        let four_hits_idle = vec![req_at(5, 2), req_at(5, 2), req_at(5, 2), req_at(5, 2)];
+        let mut scratch = vec![0u32; 16];
+        let a = group_score(&one_miss_busy, &f.view(), &mut scratch);
+        let b = group_score(&four_hits_idle, &f.view(), &mut scratch);
+        assert!(b.better_than(&a), "4 hits ({}) vs 1 busy miss ({})", b.score, a.score);
+    }
+
+    #[test]
+    fn tie_breaks_on_hits() {
+        let a = GroupScore { score: 5, hits: 3 };
+        let b = GroupScore { score: 5, hits: 1 };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        let c = GroupScore { score: 4, hits: 0 };
+        assert!(c.better_than(&a));
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-bank DRAM state machine.
+//!
+//! A bank is either precharged (idle) or has one row open in its row buffer.
+//! The bank tracks the earliest cycle at which each command class becomes
+//! legal *from this bank's perspective*; channel-global constraints (tRRD,
+//! tFAW, bus occupancy, column-to-column spacing, turnarounds) are enforced
+//! by [`crate::channel::Channel`].
+
+use ldsim_types::clock::Cycle;
+use ldsim_types::config::TimingCycles;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// Precharged; no row open.
+    Idle,
+    /// A row is open (possibly still within tRCD of its activation).
+    Active { row: u32 },
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    pub state: BankState,
+    /// Earliest cycle an ACT may be issued (after tRP from precharge and
+    /// tRC from the previous ACT).
+    pub act_ready: Cycle,
+    /// Earliest cycle a column read may be issued (tRCD after ACT).
+    pub rd_ready: Cycle,
+    /// Earliest cycle a column write may be issued (tRCD after ACT).
+    pub wr_ready: Cycle,
+    /// Earliest cycle a PRE may be issued (tRAS after ACT, tRTP after the
+    /// last read, tWL+tBURST+tWR after the last write).
+    pub pre_ready: Cycle,
+    /// Cycle of the most recent ACT (for tRC bookkeeping).
+    pub last_act: Cycle,
+    /// Row-hits serviced since the current row was opened — the 5-bit
+    /// per-bank counter of the MERB scheme (Section IV-D). Saturates at 31.
+    pub hits_since_act: u8,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self {
+            state: BankState::Idle,
+            act_ready: 0,
+            rd_ready: 0,
+            wr_ready: 0,
+            pre_ready: 0,
+            last_act: 0,
+            hits_since_act: 0,
+        }
+    }
+}
+
+impl Bank {
+    /// The currently open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Idle => None,
+            BankState::Active { row } => Some(row),
+        }
+    }
+
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BankState::Active { .. })
+    }
+
+    /// Apply an ACT at `now` for `row`.
+    pub fn do_act(&mut self, now: Cycle, row: u32, t: &TimingCycles) {
+        debug_assert!(!self.is_open(), "ACT to open bank");
+        debug_assert!(now >= self.act_ready, "ACT violates act_ready");
+        self.state = BankState::Active { row };
+        self.rd_ready = now + t.t_rcd;
+        self.wr_ready = now + t.t_rcd;
+        self.pre_ready = now + t.t_ras;
+        self.act_ready = now + t.t_rc;
+        self.last_act = now;
+        self.hits_since_act = 0;
+    }
+
+    /// Apply a PRE at `now`.
+    pub fn do_pre(&mut self, now: Cycle, t: &TimingCycles) {
+        debug_assert!(self.is_open(), "PRE to closed bank");
+        debug_assert!(now >= self.pre_ready, "PRE violates pre_ready");
+        self.state = BankState::Idle;
+        self.act_ready = self.act_ready.max(now + t.t_rp);
+    }
+
+    /// Apply a column READ at `now`, transferring `bursts` data bursts.
+    /// The MERB row-hit counter counts bursts (Section IV-D).
+    pub fn do_read(&mut self, now: Cycle, t: &TimingCycles, bursts: u8) {
+        debug_assert!(self.is_open(), "RD to closed bank");
+        debug_assert!(now >= self.rd_ready, "RD violates rd_ready (tRCD)");
+        // Precharge must wait tRTP after the read command.
+        self.pre_ready = self.pre_ready.max(now + t.t_rtp);
+        self.hits_since_act = self.hits_since_act.saturating_add(bursts).min(31);
+    }
+
+    /// Apply a column WRITE at `now`, transferring `bursts` data bursts.
+    pub fn do_write(&mut self, now: Cycle, t: &TimingCycles, bursts: u8) {
+        debug_assert!(self.is_open(), "WR to closed bank");
+        debug_assert!(now >= self.wr_ready, "WR violates wr_ready (tRCD)");
+        // Precharge must wait for write recovery after the data lands.
+        self.pre_ready = self
+            .pre_ready
+            .max(now + t.t_wl + t.t_burst * bursts as Cycle + t.t_wr);
+        self.hits_since_act = self.hits_since_act.saturating_add(bursts).min(31);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_types::clock::ClockDomain;
+    use ldsim_types::config::TimingParams;
+
+    fn t() -> TimingCycles {
+        TimingParams::default().in_cycles(ClockDomain::GDDR5)
+    }
+
+    #[test]
+    fn act_opens_row_and_sets_windows() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(100, 7, &t);
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.rd_ready, 100 + t.t_rcd);
+        assert_eq!(b.pre_ready, 100 + t.t_ras);
+        assert_eq!(b.act_ready, 100 + t.t_rc);
+        assert_eq!(b.hits_since_act, 0);
+    }
+
+    #[test]
+    fn pre_closes_and_blocks_act_for_trp() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(0, 1, &t);
+        let pre_at = b.pre_ready;
+        b.do_pre(pre_at, &t);
+        assert!(!b.is_open());
+        // act_ready is the *later* of tRC-from-ACT and tRP-from-PRE.
+        assert_eq!(b.act_ready, t.t_rc.max(pre_at + t.t_rp));
+    }
+
+    #[test]
+    fn read_extends_pre_ready_by_trtp() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(0, 1, &t);
+        let rd_at = t.t_ras - 1; // late read
+        b.do_read(rd_at, &t, 1);
+        assert_eq!(b.pre_ready, t.t_ras.max(rd_at + t.t_rtp));
+        assert_eq!(b.hits_since_act, 1);
+    }
+
+    #[test]
+    fn write_extends_pre_ready_by_write_recovery() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(0, 1, &t);
+        let wr_at = b.wr_ready;
+        b.do_write(wr_at, &t, 1);
+        assert_eq!(
+            b.pre_ready,
+            t.t_ras.max(wr_at + t.t_wl + t.t_burst + t.t_wr)
+        );
+    }
+
+    #[test]
+    fn hit_counter_saturates_at_31() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(0, 1, &t);
+        for i in 0..40 {
+            b.do_read(t.t_rcd + i as Cycle * t.t_ccdl, &t, 1);
+        }
+        assert_eq!(b.hits_since_act, 31);
+        // Re-activation resets the counter.
+        b.do_pre(b.pre_ready, &t);
+        b.do_act(b.act_ready, 2, &t);
+        assert_eq!(b.hits_since_act, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // the guard is a debug_assert
+    fn act_to_open_bank_panics_in_debug() {
+        let t = t();
+        let mut b = Bank::default();
+        b.do_act(0, 1, &t);
+        b.do_act(1000, 2, &t);
+    }
+}

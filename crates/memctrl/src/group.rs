@@ -1,0 +1,190 @@
+//! Warp-group arrival bookkeeping at one controller.
+//!
+//! The WG transaction scheduler only schedules warp-groups that have been
+//! *fully transferred* from the SMs to the controller (Section IV-B.2). In
+//! the real design this is detected by tagging the last request of a group;
+//! here we track it by count: every request carries the number of its
+//! group's requests destined for this channel
+//! ([`MemRequest::group_size_on_channel`]), and the memory partition
+//! notifies the tracker when a member is *absorbed* upstream (L2 hit or
+//! MSHR merge) and will therefore never arrive.
+
+use ldsim_types::ids::WarpGroupId;
+use ldsim_types::req::MemRequest;
+use std::collections::HashMap;
+
+/// Per-group arrival/service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupState {
+    /// Requests of this group destined for this channel (post-coalescing,
+    /// post-L1).
+    pub expected: u16,
+    /// Requests that reached the controller.
+    pub arrived: u16,
+    /// Requests absorbed upstream (L2 hits / MSHR merges).
+    pub absorbed: u16,
+    /// Requests whose DRAM service completed.
+    pub served: u16,
+}
+
+impl GroupState {
+    /// Has every request of the group that will ever arrive, arrived?
+    #[inline]
+    pub fn complete(&self) -> bool {
+        self.arrived + self.absorbed >= self.expected
+    }
+
+    /// Requests at the controller not yet serviced.
+    #[inline]
+    pub fn outstanding(&self) -> u16 {
+        self.arrived - self.served
+    }
+
+    /// Has service for the group started but not finished?
+    #[inline]
+    pub fn partially_served(&self) -> bool {
+        self.served > 0 && self.outstanding() > 0
+    }
+}
+
+/// Tracks every warp-group with in-flight state at one controller.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTracker {
+    groups: HashMap<WarpGroupId, GroupState>,
+}
+
+impl GroupTracker {
+    /// Record a request arriving at the controller.
+    pub fn on_arrival(&mut self, req: &MemRequest) {
+        let g = self.groups.entry(req.wg).or_default();
+        g.expected = g.expected.max(req.group_size_on_channel);
+        g.arrived += 1;
+    }
+
+    /// Record that a member of `wg` was absorbed upstream and will never
+    /// arrive. `expected` is the group's size on this channel (carried by
+    /// the absorbed request).
+    pub fn on_absorbed(&mut self, wg: WarpGroupId, expected: u16) {
+        let g = self.groups.entry(wg).or_default();
+        g.expected = g.expected.max(expected);
+        g.absorbed += 1;
+        self.retire_if_done(wg);
+    }
+
+    /// Record DRAM service completion of one request of `wg`.
+    pub fn on_served(&mut self, wg: WarpGroupId) {
+        if let Some(g) = self.groups.get_mut(&wg) {
+            g.served += 1;
+        }
+        self.retire_if_done(wg);
+    }
+
+    fn retire_if_done(&mut self, wg: WarpGroupId) {
+        if let Some(g) = self.groups.get(&wg) {
+            if g.complete() && g.outstanding() == 0 {
+                self.groups.remove(&wg);
+            }
+        }
+    }
+
+    /// Is the group fully transferred (schedulable by WG)?
+    pub fn is_complete(&self, wg: WarpGroupId) -> bool {
+        self.groups.get(&wg).map(|g| g.complete()).unwrap_or(true)
+    }
+
+    pub fn get(&self, wg: WarpGroupId) -> Option<&GroupState> {
+        self.groups.get(&wg)
+    }
+
+    /// Iterate over all live groups.
+    pub fn iter(&self) -> impl Iterator<Item = (&WarpGroupId, &GroupState)> {
+        self.groups.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_types::addr::AddressMapper;
+    use ldsim_types::config::MemConfig;
+    use ldsim_types::ids::{GlobalWarpId, RequestId};
+    use ldsim_types::req::ReqKind;
+
+    fn req(wg: WarpGroupId, size: u16) -> MemRequest {
+        let m = AddressMapper::new(&MemConfig::default(), 128);
+        MemRequest {
+            id: RequestId(0),
+            kind: ReqKind::Read,
+            line_addr: 0,
+            decoded: m.decode(0),
+            wg,
+            last_of_group: false,
+            group_size_on_channel: size,
+            issue_cycle: 0,
+            arrival_cycle: 0,
+        }
+    }
+
+    fn wg(serial: u32) -> WarpGroupId {
+        WarpGroupId::new(GlobalWarpId::new(0, 0), serial)
+    }
+
+    #[test]
+    fn completes_when_all_arrive() {
+        let mut t = GroupTracker::default();
+        let g = wg(1);
+        t.on_arrival(&req(g, 3));
+        assert!(!t.is_complete(g));
+        t.on_arrival(&req(g, 3));
+        t.on_arrival(&req(g, 3));
+        assert!(t.is_complete(g));
+        assert_eq!(t.get(g).unwrap().outstanding(), 3);
+    }
+
+    #[test]
+    fn absorption_counts_toward_completion() {
+        let mut t = GroupTracker::default();
+        let g = wg(2);
+        t.on_arrival(&req(g, 4));
+        t.on_absorbed(g, 4);
+        t.on_absorbed(g, 4);
+        assert!(!t.is_complete(g));
+        t.on_arrival(&req(g, 4));
+        assert!(t.is_complete(g));
+    }
+
+    #[test]
+    fn retires_after_full_service() {
+        let mut t = GroupTracker::default();
+        let g = wg(3);
+        t.on_arrival(&req(g, 2));
+        t.on_arrival(&req(g, 2));
+        t.on_served(g);
+        assert!(t.get(g).unwrap().partially_served());
+        t.on_served(g);
+        assert!(t.get(g).is_none(), "fully served group retired");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fully_absorbed_group_never_lingers() {
+        let mut t = GroupTracker::default();
+        let g = wg(4);
+        t.on_absorbed(g, 1);
+        assert!(t.get(g).is_none());
+    }
+
+    #[test]
+    fn unknown_group_is_vacuously_complete() {
+        let t = GroupTracker::default();
+        assert!(t.is_complete(wg(9)));
+    }
+}

@@ -1,0 +1,32 @@
+//! Full-system simulator: SMs ↔ crossbar ↔ memory partitions (L2 slice +
+//! GDDR5 controller), plus the metric collectors and the experiment runner
+//! that regenerate the paper's tables and figures.
+//!
+//! The cycle loop (all components share the GDDR5 command clock):
+//!
+//! 1. each memory controller advances one cycle (command issue, drains,
+//!    completions) and its responses flow back into the partition's L2;
+//! 2. coordination messages travel on the [`ldsim_warpsched::CoordNetwork`];
+//! 3. partitions process crossbar arrivals through the L2 (hits absorbed,
+//!    misses forwarded, write-backs generated) and push SM-bound responses
+//!    into the response crossbar;
+//! 4. SMs wake warps, issue instructions, and inject new warp-groups into
+//!    the request crossbar.
+//!
+//! [`Simulator::run`] returns a [`RunResult`] carrying every statistic the
+//! paper's evaluation plots: IPC, effective memory latency, DRAM latency
+//! divergence, bandwidth utilisation, row-hit rate, write intensity,
+//! drain-stall classification and the DRAM power estimate.
+
+pub mod metrics;
+pub mod partition;
+#[cfg(test)]
+mod partition_tests;
+pub mod runner;
+pub mod sim;
+pub mod table;
+
+pub use metrics::RunResult;
+pub use runner::{run_grid, run_one, GridCell};
+pub use sim::Simulator;
+pub use table::Table;

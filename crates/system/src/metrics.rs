@@ -1,0 +1,283 @@
+//! Run-level metrics: everything the paper's evaluation section plots.
+
+use ldsim_gpu::sm::LoadRecord;
+use ldsim_types::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The result of one full-system simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    pub benchmark: String,
+    pub scheduler: String,
+    /// Did every warp retire before the cycle limit?
+    pub finished: bool,
+    pub cycles: Cycle,
+    pub instructions: u64,
+
+    // ---- Fig. 2: coalescing efficiency ----
+    pub loads: u64,
+    /// Loads producing >1 request after coalescing.
+    pub divergent_loads: u64,
+    /// Mean requests per load after coalescing.
+    pub avg_reqs_per_load: f64,
+
+    // ---- Fig. 3 / Fig. 10: DRAM latency divergence ----
+    /// Mean (last - first) DRAM service gap, over loads with >= 2 DRAM
+    /// responses.
+    pub avg_dram_gap: f64,
+    /// Mean last-request latency / first-request latency ratio.
+    pub last_first_ratio: f64,
+    /// Mean distinct memory controllers touched per (divergent) load.
+    pub avg_channels_touched: f64,
+    /// Mean distinct (channel, bank) pairs touched per divergent load.
+    pub avg_banks_touched: f64,
+    /// Fraction of a warp's requests sharing a DRAM row with another.
+    pub same_row_frac: f64,
+
+    // ---- Fig. 9: effective memory latency ----
+    /// Mean issue-to-last-response latency over loads that reached DRAM.
+    pub avg_effective_latency: f64,
+
+    // ---- Fig. 11 and Section VI-B ----
+    /// DRAM data-bus utilisation (busy cycles / total cycles, averaged over
+    /// channels).
+    pub bw_utilization: f64,
+    pub row_hit_rate: f64,
+    /// Estimated DRAM power (W, summed over channels).
+    pub dram_power_w: f64,
+
+    // ---- Fig. 12: write drains ----
+    /// Writes / (reads + writes) at DRAM.
+    pub write_intensity: f64,
+    pub drains: u64,
+    pub drain_stalled_groups: u64,
+    pub drain_stalled_unit: u64,
+    pub drain_stalled_orphan: u64,
+
+    // ---- cache behaviour ----
+    pub l1_hit_rate: f64,
+    pub l2_hit_rate: f64,
+    /// Total DRAM reads / writes serviced.
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+    /// Fraction of cycles SMs spent with the issue port busy on compute.
+    pub sm_port_busy_frac: f64,
+    /// Fraction of cycles SMs spent idle with every warp blocked on memory
+    /// (the paper's "SIMD core sits idle" statistic).
+    pub sm_mem_idle_frac: f64,
+    /// Warp-aware policy counters summed over controllers:
+    /// [groups selected, MERB substitutions, WG-W priority grants,
+    /// coordination caps applied].
+    pub policy_counters: [u64; 4],
+}
+
+impl RunResult {
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of loads that are divergent (Fig. 2's black bar).
+    pub fn divergent_frac(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.divergent_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Fraction of drain-stalled warp-groups that were unit-sized or
+    /// orphaned (Fig. 12's second series).
+    pub fn drain_unit_orphan_frac(&self) -> f64 {
+        if self.drain_stalled_groups == 0 {
+            0.0
+        } else {
+            (self.drain_stalled_unit + self.drain_stalled_orphan) as f64
+                / self.drain_stalled_groups as f64
+        }
+    }
+}
+
+/// Aggregate per-load records into the divergence metrics.
+pub(crate) struct LoadAgg {
+    pub loads: u64,
+    pub divergent: u64,
+    pub total_coalesced: u64,
+    pub gap_sum: f64,
+    pub gap_cnt: u64,
+    pub ratio_sum: f64,
+    pub ratio_cnt: u64,
+    pub eff_sum: f64,
+    pub eff_cnt: u64,
+    pub ch_sum: f64,
+    pub bank_sum: f64,
+    pub spread_cnt: u64,
+    pub same_row_num: u64,
+    pub same_row_den: u64,
+}
+
+impl LoadAgg {
+    pub fn new() -> Self {
+        Self {
+            loads: 0,
+            divergent: 0,
+            total_coalesced: 0,
+            gap_sum: 0.0,
+            gap_cnt: 0,
+            ratio_sum: 0.0,
+            ratio_cnt: 0,
+            eff_sum: 0.0,
+            eff_cnt: 0,
+            ch_sum: 0.0,
+            bank_sum: 0.0,
+            spread_cnt: 0,
+            same_row_num: 0,
+            same_row_den: 0,
+        }
+    }
+
+    pub fn add(&mut self, r: &LoadRecord) {
+        self.loads += 1;
+        self.total_coalesced += r.coalesced as u64;
+        if r.coalesced > 1 {
+            self.divergent += 1;
+        }
+        if r.dram_responses >= 1 {
+            self.eff_sum += r.effective_latency() as f64;
+            self.eff_cnt += 1;
+        }
+        if r.dram_responses >= 2 {
+            self.gap_sum += r.dram_gap() as f64;
+            self.gap_cnt += 1;
+            let first = r.first_dram.saturating_sub(r.issue) as f64;
+            let last = r.last_dram.saturating_sub(r.issue) as f64;
+            if first > 0.0 {
+                self.ratio_sum += last / first;
+                self.ratio_cnt += 1;
+            }
+        }
+        if r.mem_reqs >= 2 {
+            self.ch_sum += r.channels_touched as f64;
+            self.bank_sum += r.banks_touched as f64;
+            self.spread_cnt += 1;
+            self.same_row_num += r.same_row_reqs as u64;
+            self.same_row_den += r.mem_reqs as u64;
+        }
+    }
+}
+
+fn ratio(n: f64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n / d as f64
+    }
+}
+
+impl LoadAgg {
+    pub fn avg_reqs_per_load(&self) -> f64 {
+        ratio(self.total_coalesced as f64, self.loads)
+    }
+    pub fn avg_gap(&self) -> f64 {
+        ratio(self.gap_sum, self.gap_cnt)
+    }
+    pub fn avg_ratio(&self) -> f64 {
+        ratio(self.ratio_sum, self.ratio_cnt)
+    }
+    pub fn avg_eff(&self) -> f64 {
+        ratio(self.eff_sum, self.eff_cnt)
+    }
+    pub fn avg_channels(&self) -> f64 {
+        ratio(self.ch_sum, self.spread_cnt)
+    }
+    pub fn avg_banks(&self) -> f64 {
+        ratio(self.bank_sum, self.spread_cnt)
+    }
+    pub fn same_row_frac(&self) -> f64 {
+        ratio(self.same_row_num as f64, self.same_row_den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(coalesced: u32, mem: u32, dram: u32, first: Cycle, last: Cycle) -> LoadRecord {
+        LoadRecord {
+            coalesced,
+            mem_reqs: mem,
+            dram_responses: dram,
+            issue: 100,
+            complete: last.max(100),
+            first_dram: first,
+            last_dram: last,
+            channels_touched: 2,
+            banks_touched: 3,
+            same_row_reqs: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_divergence() {
+        let mut a = LoadAgg::new();
+        a.add(&rec(1, 0, 0, 0, 0));
+        a.add(&rec(4, 4, 4, 200, 500));
+        assert_eq!(a.loads, 2);
+        assert_eq!(a.divergent, 1);
+        assert!((a.avg_reqs_per_load() - 2.5).abs() < 1e-9);
+        assert!((a.avg_gap() - 300.0).abs() < 1e-9);
+        // ratio = (500-100)/(200-100) = 4
+        assert!((a.avg_ratio() - 4.0).abs() < 1e-9);
+        assert!((a.avg_channels() - 2.0).abs() < 1e-9);
+        assert!((a.same_row_frac() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_agg_is_zero() {
+        let a = LoadAgg::new();
+        assert_eq!(a.avg_gap(), 0.0);
+        assert_eq!(a.avg_reqs_per_load(), 0.0);
+    }
+
+    #[test]
+    fn run_result_ipc() {
+        let r = RunResult {
+            benchmark: "x".into(),
+            scheduler: "GMC".into(),
+            finished: true,
+            cycles: 100,
+            instructions: 250,
+            loads: 10,
+            divergent_loads: 5,
+            avg_reqs_per_load: 2.0,
+            avg_dram_gap: 0.0,
+            last_first_ratio: 1.0,
+            avg_channels_touched: 2.0,
+            avg_banks_touched: 2.0,
+            same_row_frac: 0.3,
+            avg_effective_latency: 500.0,
+            bw_utilization: 0.5,
+            row_hit_rate: 0.6,
+            dram_power_w: 10.0,
+            write_intensity: 0.2,
+            drains: 1,
+            drain_stalled_groups: 4,
+            drain_stalled_unit: 1,
+            drain_stalled_orphan: 1,
+            l1_hit_rate: 0.2,
+            l2_hit_rate: 0.3,
+            dram_reads: 100,
+            dram_writes: 20,
+            sm_port_busy_frac: 0.5,
+            sm_mem_idle_frac: 0.1,
+            policy_counters: [0; 4],
+        };
+        assert!((r.ipc() - 2.5).abs() < 1e-9);
+        assert!((r.divergent_frac() - 0.5).abs() < 1e-9);
+        assert!((r.drain_unit_orphan_frac() - 0.5).abs() < 1e-9);
+    }
+}

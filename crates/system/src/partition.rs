@@ -1,0 +1,226 @@
+//! A memory partition: one shared-L2 slice fronting one GDDR5 channel
+//! controller (Section II-B).
+//!
+//! Reads that hit the L2 (or merge into an in-flight L2 miss) are *absorbed*
+//! — the controller's warp-group tracker is told so the group can still be
+//! recognised as fully transferred. Misses forward to the controller after
+//! the L2 lookup latency. Stores write-allocate without fetch; dirty
+//! evictions become the DRAM write traffic that the write-drain machinery
+//! (and WG-W) manages.
+
+use ldsim_gpu::cache::{Cache, Mshr};
+use ldsim_gpu::sm::SmResponse;
+use ldsim_memctrl::Controller;
+use ldsim_types::addr::AddressMapper;
+use ldsim_types::clock::Cycle;
+use ldsim_types::config::{CacheConfig, MemConfig};
+use ldsim_types::ids::{ChannelId, RequestId};
+use ldsim_types::req::{MemRequest, MemResponse, ReqKind};
+use std::collections::VecDeque;
+
+/// One memory partition.
+pub struct Partition {
+    pub id: ChannelId,
+    pub l2: Cache,
+    l2_mshr: Mshr<MemRequest>,
+    l2_latency: Cycle,
+    pub ctrl: Controller,
+    mapper: AddressMapper,
+    line_shift: u32,
+    /// Requests arriving from the request crossbar, processed in order.
+    input: VecDeque<MemRequest>,
+    /// L2-latency delay line toward the controller.
+    to_ctrl: VecDeque<(Cycle, MemRequest)>,
+    /// SM-bound responses awaiting the response crossbar.
+    pub to_sm: VecDeque<(usize, SmResponse)>,
+    next_wb_id: u64,
+    /// Cycles (sampled) with at least one DRAM bank open, for power.
+    pub active_samples: u64,
+    pub total_samples: u64,
+}
+
+impl Partition {
+    pub fn new(
+        id: ChannelId,
+        l2_cfg: &CacheConfig,
+        mem: &MemConfig,
+        ctrl: Controller,
+    ) -> Self {
+        Self {
+            id,
+            l2: Cache::new(l2_cfg),
+            l2_mshr: Mshr::new(l2_cfg.mshr_entries),
+            l2_latency: l2_cfg.latency,
+            ctrl,
+            mapper: AddressMapper::new(mem, l2_cfg.line_bytes),
+            line_shift: l2_cfg.line_bytes.trailing_zeros(),
+            input: VecDeque::new(),
+            to_ctrl: VecDeque::new(),
+            to_sm: VecDeque::new(),
+            next_wb_id: 0,
+            active_samples: 0,
+            total_samples: 0,
+        }
+    }
+
+    /// Input-buffer capacity: kept shallow so backlog accumulates in the
+    /// controller's scheduler-visible read queue, not in blind FIFOs.
+    pub const INPUT_CAP: usize = 8;
+
+    /// Room for another crossbar delivery?
+    pub fn can_accept(&self) -> bool {
+        self.input.len() < Self::INPUT_CAP
+    }
+
+    /// Free input-buffer slots.
+    pub fn input_room(&self) -> usize {
+        Self::INPUT_CAP - self.input.len()
+    }
+
+    /// A request arrived from the request crossbar.
+    pub fn accept(&mut self, req: MemRequest) {
+        debug_assert!(self.can_accept());
+        self.input.push_back(req);
+    }
+
+    /// Process this cycle's partition work (after the controller has been
+    /// ticked and its responses applied via [`Self::on_ctrl_response`]).
+    pub fn tick(&mut self, now: Cycle) {
+        // Release L2-latency-delayed requests to the controller.
+        while let Some(&(ready, _)) = self.to_ctrl.front() {
+            if ready > now {
+                break;
+            }
+            let (_, req) = self.to_ctrl.pop_front().unwrap();
+            self.ctrl.push_request(req);
+        }
+        // One L2 access per cycle (single-ported slice).
+        if let Some(req) = self.input.front().copied() {
+            match req.kind {
+                ReqKind::Read => {
+                    // Gate miss processing on controller backlog so queueing
+                    // stays inside the scheduler-visible read queue.
+                    let ctrl_full = self.ctrl.read_backlog() + self.to_ctrl.len()
+                        >= self.ctrl.read_capacity() + 8;
+                    if self.l2.probe(req.line_addr, false) {
+                        // L2 hit: absorbed; respond to the SM.
+                        self.input.pop_front();
+                        self.ctrl
+                            .note_absorbed(req.wg, req.group_size_on_channel);
+                        self.to_sm.push_back((
+                            req.wg.warp.sm.0 as usize,
+                            SmResponse {
+                                line_addr: req.line_addr,
+                                from_dram: false,
+                                dram_cycle: 0,
+                            },
+                        ));
+                    } else if self.l2_mshr.in_flight(req.line_addr) {
+                        // Merged: absorbed; data comes with the earlier miss.
+                        self.input.pop_front();
+                        self.ctrl
+                            .note_absorbed(req.wg, req.group_size_on_channel);
+                        // Cross-warp sharing signal (Section VIII): the
+                        // original group's line now blocks another warp too.
+                        if let Some(first) = self.l2_mshr.waiters(req.line_addr).first() {
+                            if first.wg.warp != req.wg.warp {
+                                self.ctrl.note_shared(first.wg);
+                            }
+                        }
+                        let _ = self.l2_mshr.register(req.line_addr, req);
+                    } else if !ctrl_full && self.l2_mshr.can_accept(req.line_addr) {
+                        self.input.pop_front();
+                        let _ = self.l2_mshr.register(req.line_addr, req);
+                        self.to_ctrl.push_back((now + self.l2_latency, req));
+                    }
+                    // else: MSHR or controller full — head-of-line stall.
+                }
+                ReqKind::Write => {
+                    if self.ctrl.write_backlog() >= self.ctrl.write_capacity() + 8 {
+                        return; // back-pressure stores too
+                    }
+                    self.input.pop_front();
+                    if !self.l2.probe(req.line_addr, true) {
+                        // Write-allocate without fetch; dirty eviction
+                        // becomes a DRAM write-back.
+                        if let Some((victim, dirty)) = self.l2.fill(req.line_addr, true) {
+                            if dirty {
+                                self.write_back(victim, now);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A DRAM read completed: fill the L2 and wake every merged waiter.
+    pub fn on_ctrl_response(&mut self, resp: &MemResponse, now: Cycle) {
+        debug_assert_eq!(resp.kind, ReqKind::Read);
+        if let Some((victim, dirty)) = self.l2.fill(resp.line_addr, false) {
+            if dirty {
+                self.write_back(victim, now);
+            }
+        }
+        for waiter in self.l2_mshr.fill(resp.line_addr) {
+            self.to_sm.push_back((
+                waiter.wg.warp.sm.0 as usize,
+                SmResponse {
+                    line_addr: resp.line_addr,
+                    from_dram: true,
+                    dram_cycle: resp.done_cycle,
+                },
+            ));
+        }
+    }
+
+    fn write_back(&mut self, victim_line: u64, now: Cycle) {
+        self.next_wb_id += 1;
+        let byte = victim_line << self.line_shift;
+        let decoded = self.mapper.decode(byte);
+        debug_assert_eq!(
+            decoded.channel, self.id,
+            "L2 slice holds only its own channel's lines"
+        );
+        let req = MemRequest {
+            id: RequestId(0xB000_0000_0000_0000 | ((self.id.0 as u64) << 40) | self.next_wb_id),
+            kind: ReqKind::Write,
+            line_addr: victim_line,
+            decoded,
+            wg: ldsim_types::ids::WarpGroupId::new(
+                ldsim_types::ids::GlobalWarpId::new(u16::MAX, self.id.0 as u16),
+                self.next_wb_id as u32,
+            ),
+            last_of_group: true,
+            group_size_on_channel: 1,
+            issue_cycle: now,
+            arrival_cycle: 0,
+        };
+        self.ctrl.push_request(req);
+    }
+
+    /// Sample bank-active state (power model input).
+    pub fn sample_activity(&mut self) {
+        self.total_samples += 1;
+        if self.ctrl.channel.open_banks() > 0 {
+            self.active_samples += 1;
+        }
+    }
+
+    /// Any work left anywhere in the partition?
+    pub fn busy(&self) -> bool {
+        !self.input.is_empty()
+            || !self.to_ctrl.is_empty()
+            || !self.to_sm.is_empty()
+            || !self.l2_mshr.is_empty()
+            || !self.ctrl.idle()
+    }
+
+    pub fn active_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.active_samples as f64 / self.total_samples as f64
+        }
+    }
+}

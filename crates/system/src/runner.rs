@@ -1,0 +1,123 @@
+//! The experiment runner: sweeps {benchmark x scheduler} grids in parallel
+//! (one simulation per core via rayon) and returns the cells for the
+//! figure binaries to format.
+
+use crate::metrics::RunResult;
+use crate::sim::Simulator;
+use ldsim_types::config::{SchedulerKind, SimConfig};
+use ldsim_workloads::{benchmark, Scale};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One (benchmark, scheduler) simulation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridCell {
+    pub benchmark: String,
+    pub scheduler: SchedulerKind,
+    pub result: RunResult,
+}
+
+/// Run one benchmark under one scheduler, using the paper's fixed
+/// instruction budget methodology (Section V): the run stops at 70% of the
+/// kernel's total instructions (or completion), so throughput — not the
+/// slowest warp's tail — is measured. Every scheduler executes the same
+/// instruction budget on the same kernel.
+pub fn run_one(bench: &str, scale: Scale, seed: u64, kind: SchedulerKind) -> RunResult {
+    let kernel = benchmark(bench, scale, seed).generate();
+    let mut cfg = SimConfig::default().with_scheduler(kind);
+    cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
+    Simulator::new(cfg, &kernel).run()
+}
+
+/// Run one benchmark with a custom configuration tweak.
+pub fn run_one_with(
+    bench: &str,
+    scale: Scale,
+    seed: u64,
+    kind: SchedulerKind,
+    tweak: impl Fn(&mut SimConfig),
+) -> RunResult {
+    let kernel = benchmark(bench, scale, seed).generate();
+    let mut cfg = SimConfig::default().with_scheduler(kind);
+    tweak(&mut cfg);
+    Simulator::new(cfg, &kernel).run()
+}
+
+/// Run every (benchmark, scheduler) pair in parallel. Kernels are generated
+/// per cell from the same seed, so all schedulers see identical workloads.
+pub fn run_grid(
+    benches: &[&str],
+    kinds: &[SchedulerKind],
+    scale: Scale,
+    seed: u64,
+) -> Vec<GridCell> {
+    let pairs: Vec<(String, SchedulerKind)> = benches
+        .iter()
+        .flat_map(|b| kinds.iter().map(move |k| (b.to_string(), *k)))
+        .collect();
+    pairs
+        .into_par_iter()
+        .map(|(b, k)| GridCell {
+            result: run_one(&b, scale, seed, k),
+            benchmark: b,
+            scheduler: k,
+        })
+        .collect()
+}
+
+/// Pull one cell out of a grid.
+pub fn cell<'a>(grid: &'a [GridCell], bench: &str, kind: SchedulerKind) -> &'a RunResult {
+    &grid
+        .iter()
+        .find(|c| c.benchmark == bench && c.scheduler == kind)
+        .unwrap_or_else(|| panic!("missing cell {bench}/{kind:?}"))
+        .result
+}
+
+/// The canonical scheduler ladders used by the figures.
+pub const PAPER_SCHEDULERS: &[SchedulerKind] = &[
+    SchedulerKind::Gmc,
+    SchedulerKind::Wg,
+    SchedulerKind::WgM,
+    SchedulerKind::WgBw,
+    SchedulerKind::WgW,
+];
+
+/// Names of the irregular benchmarks, in the paper's presentation order.
+pub fn irregular_names() -> Vec<&'static str> {
+    ldsim_workloads::IRREGULAR.iter().map(|p| p.name).collect()
+}
+
+/// Names of the regular (Section VI-A) benchmarks.
+pub fn regular_names() -> Vec<&'static str> {
+    ldsim_workloads::REGULAR.iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_and_indexes() {
+        let grid = run_grid(
+            &["bfs", "nw"],
+            &[SchedulerKind::Gmc, SchedulerKind::Wg],
+            Scale::Tiny,
+            7,
+        );
+        assert_eq!(grid.len(), 4);
+        let c = cell(&grid, "bfs", SchedulerKind::Wg);
+        assert!(c.finished);
+        assert!(c.instructions > 0);
+        // Same workload across schedulers: identical instruction counts.
+        let g = cell(&grid, "bfs", SchedulerKind::Gmc);
+        assert_eq!(c.instructions, g.instructions);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_cell_panics() {
+        let grid = run_grid(&["bfs"], &[SchedulerKind::Gmc], Scale::Tiny, 7);
+        cell(&grid, "bfs", SchedulerKind::WgW);
+    }
+}

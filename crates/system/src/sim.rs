@@ -1,0 +1,495 @@
+//! The cycle-level full-system simulator.
+
+use crate::metrics::{LoadAgg, RunResult};
+use crate::partition::Partition;
+use ldsim_gddr5::{Channel, MerbTable, PowerModel, PowerParams};
+use ldsim_gpu::sm::{Sm, SmResponse};
+use ldsim_gpu::xbar::Crossbar;
+use ldsim_memctrl::{Controller, CoordMsg};
+use ldsim_types::addr::AddressMapper;
+use ldsim_types::clock::Cycle;
+use ldsim_types::config::{SchedulerKind, SimConfig};
+use ldsim_types::ids::{ChannelId, SmId, WarpGroupId};
+use ldsim_types::kernel::KernelProgram;
+use ldsim_types::req::MemResponse;
+use ldsim_warpsched::{make_policy, CoordNetwork};
+use std::collections::HashSet;
+
+/// The assembled machine.
+pub struct Simulator {
+    cfg: SimConfig,
+    sms: Vec<Sm>,
+    partitions: Vec<Partition>,
+    req_xbar: Crossbar<ldsim_types::req::MemRequest>,
+    resp_xbar: Crossbar<SmResponse>,
+    coord: CoordNetwork,
+    zero_div: bool,
+    fast_seen: HashSet<WarpGroupId>,
+    benchmark: String,
+    // Scratch buffers reused every cycle.
+    resp_buf: Vec<MemResponse>,
+    coord_buf: Vec<CoordMsg>,
+    sm_out: Vec<ldsim_types::req::MemRequest>,
+}
+
+impl Simulator {
+    /// Build a simulator for `kernel` under `cfg`. The number of SMs is
+    /// taken from the kernel (one program list per SM); `cfg.gpu.num_sms`
+    /// is updated to match.
+    pub fn new(mut cfg: SimConfig, kernel: &KernelProgram) -> Self {
+        cfg.gpu.num_sms = kernel.programs.len();
+        let mapper = AddressMapper::new(&cfg.mem, cfg.gpu.l1.line_bytes);
+        let timing = cfg.mem.timing.in_cycles(cfg.clock);
+        let merb = MerbTable::from_timing(&cfg.mem.timing, cfg.clock, cfg.mem.banks_per_channel);
+        let zero_div = cfg.scheduler == SchedulerKind::ZeroDivergence;
+
+        let sms: Vec<Sm> = kernel
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(i, progs)| {
+                let mut progs = progs.clone();
+                if cfg.perfect_coalescing {
+                    // Fig. 4's Perfect Coalescing model: every load/store
+                    // collapses to a single line (all lanes read lane 0's
+                    // line).
+                    for w in &mut progs {
+                        for insn in &mut w.insns {
+                            match insn {
+                                ldsim_types::kernel::Instruction::Load { addrs, .. }
+                                | ldsim_types::kernel::Instruction::Store { addrs, .. } => {
+                                    let base = addrs[0];
+                                    **addrs = [base; 32];
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                Sm::new(SmId(i as u16), &cfg.gpu, mapper, progs)
+            })
+            .collect();
+
+        let partitions: Vec<Partition> = (0..cfg.mem.num_channels)
+            .map(|c| {
+                let ch = Channel::new(&cfg.mem, timing);
+                let policy = make_policy(cfg.scheduler, &cfg.mem);
+                let ctrl = Controller::new(
+                    ChannelId(c as u8),
+                    &cfg.mem,
+                    ch,
+                    policy,
+                    merb.clone(),
+                    zero_div,
+                );
+                Partition::new(ChannelId(c as u8), &cfg.gpu.l2_slice, &cfg.mem, ctrl)
+            })
+            .collect();
+
+        let num_sms = sms.len();
+        let num_ch = partitions.len();
+        Self {
+            req_xbar: Crossbar::new(num_sms, num_ch, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue),
+            resp_xbar: Crossbar::new(num_ch, num_sms, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue * 4),
+            coord: CoordNetwork::new(num_ch, cfg.mem.coord_latency),
+            zero_div,
+            fast_seen: HashSet::new(),
+            benchmark: kernel.name.clone(),
+            sms,
+            partitions,
+            cfg,
+            resp_buf: Vec::new(),
+            coord_buf: Vec::new(),
+            sm_out: Vec::new(),
+        }
+    }
+
+    /// Like [`Self::run`], but also returns every per-load record (for
+    /// trace export and offline analysis).
+    pub fn run_with_records(self) -> (RunResult, Vec<ldsim_gpu::sm::LoadRecord>) {
+        let mut sim = self;
+        let mut now: Cycle = 0;
+        let mut finished = false;
+        let limit = sim.cfg.instruction_limit.unwrap_or(u64::MAX);
+        while now < sim.cfg.max_cycles {
+            sim.step(now);
+            if now.is_multiple_of(512) {
+                for p in &mut sim.partitions {
+                    p.sample_activity();
+                }
+            }
+            if sim.sms.iter().all(|s| s.done()) {
+                finished = true;
+                break;
+            }
+            if sim.sms.iter().map(|s| s.retired).sum::<u64>() >= limit {
+                finished = true;
+                break;
+            }
+            now += 1;
+        }
+        let records: Vec<ldsim_gpu::sm::LoadRecord> = sim
+            .sms
+            .iter()
+            .flat_map(|s| s.records.iter().copied())
+            .collect();
+        (sim.collect(now.max(1), finished), records)
+    }
+
+    /// Run to completion (all warps retired) or the cycle limit; collect the
+    /// full metric set.
+    pub fn run(mut self) -> RunResult {
+        let mut now: Cycle = 0;
+        let mut finished = false;
+        let limit = self.cfg.instruction_limit.unwrap_or(u64::MAX);
+        while now < self.cfg.max_cycles {
+            self.step(now);
+            if now.is_multiple_of(512) {
+                for p in &mut self.partitions {
+                    p.sample_activity();
+                }
+            }
+            if self.sms.iter().all(|s| s.done()) {
+                finished = true;
+                break;
+            }
+            if self.sms.iter().map(|s| s.retired).sum::<u64>() >= limit {
+                finished = true;
+                break;
+            }
+            now += 1;
+        }
+        self.collect(now.max(1), finished)
+    }
+
+    /// Advance the machine one cycle.
+    pub fn step(&mut self, now: Cycle) {
+        // --- memory controllers ---
+        for p in &mut self.partitions {
+            p.ctrl.tick(now);
+        }
+        // Coordination network (WG-M family).
+        if self.cfg.scheduler.coordinates() {
+            for (i, p) in self.partitions.iter_mut().enumerate() {
+                self.coord_buf.clear();
+                p.ctrl.drain_coord(&mut self.coord_buf);
+                for m in self.coord_buf.drain(..) {
+                    self.coord.broadcast(i, m, now);
+                }
+            }
+            let partitions = &mut self.partitions;
+            self.coord.deliver(now, |dst, msg| {
+                partitions[dst].ctrl.deliver_coord(msg, now);
+            });
+        }
+        // DRAM responses -> L2 fill -> SM-bound responses.
+        for pi in 0..self.partitions.len() {
+            self.resp_buf.clear();
+            self.partitions[pi].ctrl.drain_responses(&mut self.resp_buf);
+            for i in 0..self.resp_buf.len() {
+                let resp = self.resp_buf[i];
+                self.partitions[pi].on_ctrl_response(&resp, now);
+            }
+            self.partitions[pi].tick(now);
+        }
+        // Partition -> response crossbar.
+        for (pi, p) in self.partitions.iter_mut().enumerate() {
+            while let Some(&(sm, _)) = p.to_sm.front() {
+                if self.resp_xbar.free_space(pi) == 0 {
+                    break;
+                }
+                let (_, resp) = p.to_sm.pop_front().unwrap();
+                let ok = self.resp_xbar.inject(pi, sm, resp);
+                debug_assert!(ok);
+            }
+        }
+        // Response crossbar -> SMs (SMs always accept fills).
+        let sms = &mut self.sms;
+        self.resp_xbar.tick(
+            now,
+            |_| true,
+            |sm, resp| {
+                sms[sm].accept_response(resp, now);
+            },
+        );
+        // SMs issue.
+        for (si, sm) in self.sms.iter_mut().enumerate() {
+            self.sm_out.clear();
+            let free = self.req_xbar.free_space(si);
+            sm.tick(now, free, &mut self.sm_out);
+            for r in self.sm_out.drain(..) {
+                let dst = r.decoded.channel.0 as usize;
+                let ok = self.req_xbar.inject(si, dst, r);
+                debug_assert!(ok, "SM issued beyond crossbar budget");
+            }
+        }
+        // Request crossbar -> partitions. In the zero-divergence ideal
+        // model, the first request of each warp-group to arrive anywhere is
+        // the group's "one real request"; every later sibling bypasses bank
+        // timing (Fig. 4's model).
+        let zero_div = self.zero_div;
+        let fast_seen = &mut self.fast_seen;
+        // Snapshot per-partition input room; the acceptance closure draws it
+        // down as deliveries are granted within this tick.
+        let mut room: Vec<usize> = self.partitions.iter().map(|p| p.input_room()).collect();
+        let partitions = &mut self.partitions;
+        self.req_xbar.tick(
+            now,
+            |dst| {
+                if room[dst] > 0 {
+                    room[dst] -= 1;
+                    true
+                } else {
+                    false
+                }
+            },
+            |dst, req| {
+                if zero_div
+                    && req.kind == ldsim_types::req::ReqKind::Read
+                    && !fast_seen.insert(req.wg)
+                {
+                    partitions[dst].ctrl.fast_track_group(req.wg, now);
+                }
+                partitions[dst].accept(req);
+            },
+        );
+    }
+
+    fn collect(self, cycles: Cycle, finished: bool) -> RunResult {
+        let mut agg = LoadAgg::new();
+        let mut instructions = 0u64;
+        let mut l1_hits = 0u64;
+        let mut l1_total = 0u64;
+        let mut port_busy = 0u64;
+        let mut mem_idle = 0u64;
+        for sm in &self.sms {
+            instructions += sm.retired;
+            port_busy += sm.port_busy_cycles;
+            mem_idle += sm.mem_idle_cycles;
+            for r in &sm.records {
+                agg.add(r);
+            }
+            let s = sm.l1_stats();
+            l1_hits += s.hits;
+            l1_total += s.hits + s.misses;
+        }
+
+        let timing = self.cfg.mem.timing.in_cycles(self.cfg.clock);
+        let power_model = PowerModel {
+            params: PowerParams::default(),
+            clk: self.cfg.clock,
+            t_rc: timing.t_rc,
+            t_burst: timing.t_burst,
+        };
+        let mut bw = 0.0;
+        let mut hits = 0u64;
+        let mut cols = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut power = 0.0;
+        let mut l2_hits = 0u64;
+        let mut l2_total = 0u64;
+        let mut drains = 0u64;
+        let mut stalled = 0u64;
+        let mut stalled_unit = 0u64;
+        let mut stalled_orphan = 0u64;
+        let mut counters = [0u64; 4];
+        for p in &self.partitions {
+            for (i, c) in p.ctrl.policy_counters().iter().enumerate() {
+                counters[i] += c;
+            }
+            let cs = &p.ctrl.channel.stats;
+            bw += cs.utilization(cycles.max(1));
+            hits += cs.row_hits();
+            cols += cs.reads + cs.writes;
+            reads += cs.reads + cs.fast_reads;
+            writes += cs.writes;
+            power += power_model
+                .evaluate(cs, cycles.max(1), p.active_fraction())
+                .total_w();
+            let l2 = p.l2.stats;
+            l2_hits += l2.hits;
+            l2_total += l2.hits + l2.misses;
+            drains += p.ctrl.stats.drains;
+            stalled += p.ctrl.stats.drain_stalled_groups;
+            stalled_unit += p.ctrl.stats.drain_stalled_unit;
+            stalled_orphan += p.ctrl.stats.drain_stalled_orphan;
+        }
+        let nch = self.partitions.len() as f64;
+
+        RunResult {
+            benchmark: self.benchmark,
+            scheduler: if self.cfg.perfect_coalescing {
+                format!("{}+PerfectCoalesce", self.cfg.scheduler.name())
+            } else {
+                self.cfg.scheduler.name().to_string()
+            },
+            finished,
+            cycles,
+            instructions,
+            loads: agg.loads,
+            divergent_loads: agg.divergent,
+            avg_reqs_per_load: agg.avg_reqs_per_load(),
+            avg_dram_gap: agg.avg_gap(),
+            last_first_ratio: agg.avg_ratio(),
+            avg_channels_touched: agg.avg_channels(),
+            avg_banks_touched: agg.avg_banks(),
+            same_row_frac: agg.same_row_frac(),
+            avg_effective_latency: agg.avg_eff(),
+            bw_utilization: bw / nch,
+            row_hit_rate: if cols == 0 {
+                0.0
+            } else {
+                hits as f64 / cols as f64
+            },
+            dram_power_w: power,
+            write_intensity: if reads + writes == 0 {
+                0.0
+            } else {
+                writes as f64 / (reads + writes) as f64
+            },
+            drains,
+            drain_stalled_groups: stalled,
+            drain_stalled_unit: stalled_unit,
+            drain_stalled_orphan: stalled_orphan,
+            l1_hit_rate: if l1_total == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / l1_total as f64
+            },
+            l2_hit_rate: if l2_total == 0 {
+                0.0
+            } else {
+                l2_hits as f64 / l2_total as f64
+            },
+            dram_reads: reads,
+            dram_writes: writes,
+            sm_port_busy_frac: port_busy as f64 / (cycles.max(1) as f64 * self.sms.len() as f64),
+            sm_mem_idle_frac: mem_idle as f64 / (cycles.max(1) as f64 * self.sms.len() as f64),
+            policy_counters: counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_types::ids::LaneMask;
+    use ldsim_types::kernel::{Instruction, WarpProgram};
+
+    fn tiny_kernel(lines_per_load: usize, loads: usize) -> KernelProgram {
+        let mut programs = Vec::new();
+        for sm in 0..2 {
+            let mut per_sm = Vec::new();
+            for w in 0..2 {
+                let mut insns = Vec::new();
+                for i in 0..loads {
+                    let mut addrs = [0u64; 32];
+                    for (l, a) in addrs.iter_mut().enumerate() {
+                        let cluster = l * lines_per_load / 32;
+                        *a = ((sm * 97 + w * 31 + i * 13 + cluster) as u64) * 4096 + 128 * 7;
+                    }
+                    insns.push(Instruction::Load {
+                        addrs: Box::new(addrs),
+                        mask: LaneMask::ALL,
+                    });
+                    insns.push(Instruction::Compute(4));
+                }
+                per_sm.push(WarpProgram::new(insns));
+            }
+            programs.push(per_sm);
+        }
+        KernelProgram {
+            name: "tiny".into(),
+            programs,
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts() {
+        let kernel = tiny_kernel(4, 6);
+        let cfg = SimConfig {
+            max_cycles: 2_000_000,
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(cfg, &kernel).run();
+        assert!(r.finished, "simulation should finish");
+        assert_eq!(r.loads, 2 * 2 * 6);
+        assert_eq!(r.instructions, kernel.total_instructions());
+        assert!(r.ipc() > 0.0);
+        assert!(r.avg_reqs_per_load >= 1.0);
+    }
+
+    #[test]
+    fn all_schedulers_complete_same_kernel() {
+        let kernel = tiny_kernel(4, 4);
+        for k in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfs,
+            SchedulerKind::Gmc,
+            SchedulerKind::Wafcfs,
+            SchedulerKind::Sbwas { alpha_q: 2 },
+            SchedulerKind::Wg,
+            SchedulerKind::WgM,
+            SchedulerKind::WgBw,
+            SchedulerKind::WgW,
+            SchedulerKind::ZeroDivergence,
+        ] {
+            let cfg = SimConfig {
+                max_cycles: 4_000_000,
+                ..SimConfig::default()
+            }
+            .with_scheduler(k);
+            let r = Simulator::new(cfg, &kernel).run();
+            assert!(r.finished, "{k:?} did not finish");
+            assert_eq!(r.instructions, kernel.total_instructions(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let kernel = tiny_kernel(3, 5);
+        let cfg = SimConfig::default();
+        let a = Simulator::new(cfg.clone(), &kernel).run();
+        let b = Simulator::new(cfg, &kernel).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.dram_reads, b.dram_reads);
+    }
+
+    #[test]
+    fn perfect_coalescing_reduces_requests() {
+        let kernel = tiny_kernel(8, 5);
+        let base = Simulator::new(SimConfig::default(), &kernel).run();
+        let cfg = SimConfig {
+            perfect_coalescing: true,
+            ..SimConfig::default()
+        };
+        let pc = Simulator::new(cfg, &kernel).run();
+        assert!(pc.avg_reqs_per_load <= 1.01);
+        assert!(base.avg_reqs_per_load > 2.0);
+        assert!(pc.cycles < base.cycles, "perfect coalescing must speed up");
+    }
+
+    #[test]
+    fn zero_divergence_cuts_the_gap() {
+        let kernel = tiny_kernel(8, 6);
+        let base = Simulator::new(
+            SimConfig::default().with_scheduler(SchedulerKind::Gmc),
+            &kernel,
+        )
+        .run();
+        let zd = Simulator::new(
+            SimConfig::default().with_scheduler(SchedulerKind::ZeroDivergence),
+            &kernel,
+        )
+        .run();
+        assert!(
+            zd.avg_dram_gap < base.avg_dram_gap,
+            "zero-div gap {} vs base {}",
+            zd.avg_dram_gap,
+            base.avg_dram_gap
+        );
+        assert!(zd.cycles <= base.cycles);
+    }
+}

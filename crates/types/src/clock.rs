@@ -1,0 +1,65 @@
+//! Simulation clock.
+//!
+//! The whole simulator runs in a single clock domain: the GDDR5 *command
+//! clock* (tCK = 0.667 ns, 1.5 GHz). The GTX-480 core clock the paper models
+//! (1.4 GHz) is within 7% of this, and — as DESIGN.md argues — unifying the
+//! domains does not change any scheduler ordering, only absolute IPC scale.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in GDDR5 command-clock cycles.
+pub type Cycle = u64;
+
+/// Converts between nanoseconds and command-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    /// Clock period in nanoseconds (GDDR5: 0.667).
+    pub tck_ns: f64,
+}
+
+impl ClockDomain {
+    pub const GDDR5: ClockDomain = ClockDomain { tck_ns: 0.667 };
+
+    /// Round a nanosecond delay *up* to a whole number of cycles: DRAM timing
+    /// constraints are minimums, so rounding down would violate the datasheet.
+    #[inline]
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        (ns / self.tck_ns).ceil() as Cycle
+    }
+
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * self.tck_ns
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        Self::GDDR5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        let c = ClockDomain::GDDR5;
+        // tRCD = 12ns / 0.667ns = 17.99 -> 18 cycles.
+        assert_eq!(c.ns_to_cycles(12.0), 18);
+        // tRRD = 5.5ns / 0.667 = 8.24 -> 9 cycles.
+        assert_eq!(c.ns_to_cycles(5.5), 9);
+        // exact multiples stay exact
+        assert_eq!(c.ns_to_cycles(0.667), 1);
+    }
+
+    #[test]
+    fn roundtrip_is_monotone() {
+        let c = ClockDomain::GDDR5;
+        for ns in [0.5, 1.0, 2.0, 12.0, 23.0, 28.0, 40.0] {
+            let cy = c.ns_to_cycles(ns);
+            assert!(c.cycles_to_ns(cy) >= ns - 1e-9, "ns={ns} cy={cy}");
+        }
+    }
+}

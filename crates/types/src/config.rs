@@ -1,0 +1,449 @@
+//! System configuration.
+//!
+//! Defaults reproduce Table II of the paper: a GTX-480-class GPU with 30
+//! compute units, 6 GDDR5 channels, Hynix H5GQ1H24AFR-style timing.
+
+use crate::clock::{ClockDomain, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// GDDR5 timing parameters, stored in nanoseconds as the datasheet (and
+/// Table II) specify them. Cycle counts are derived via [`TimingParams::in_cycles`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    pub t_rc_ns: f64,
+    pub t_rcd_ns: f64,
+    pub t_rp_ns: f64,
+    pub t_cas_ns: f64,
+    pub t_ras_ns: f64,
+    pub t_rrd_ns: f64,
+    pub t_wtr_ns: f64,
+    pub t_faw_ns: f64,
+    pub t_rtp_ns: f64,
+    /// Write latency in whole command clocks (Table II: 4 tCK).
+    pub t_wl_ck: Cycle,
+    /// Data burst occupancy in command clocks (Table II: 2 tCK).
+    pub t_burst_ck: Cycle,
+    /// Rank-to-rank switch (Table II: 1 tCK; we model a single rank so this
+    /// only matters for read->write bus turnaround modelling).
+    pub t_rtrs_ck: Cycle,
+    /// Column-to-column, same bank group (Table II: 3 tCK).
+    pub t_ccdl_ck: Cycle,
+    /// Column-to-column, different bank group (Table II: 2 tCK).
+    pub t_ccds_ck: Cycle,
+    /// Write recovery before precharge (GDDR5 datasheet; not in Table II —
+    /// 12 ns is the Hynix H5GQ1H24AFR value).
+    pub t_wr_ns: f64,
+    /// Average refresh interval (GDDR5 datasheet: 1.9 us for 1 Gb parts).
+    pub t_refi_ns: f64,
+    /// All-bank refresh cycle time (datasheet: ~110 ns at this density).
+    pub t_rfc_ns: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self {
+            t_rc_ns: 40.0,
+            t_rcd_ns: 12.0,
+            t_rp_ns: 12.0,
+            t_cas_ns: 12.0,
+            t_ras_ns: 28.0,
+            t_rrd_ns: 5.5,
+            t_wtr_ns: 5.0,
+            t_faw_ns: 23.0,
+            t_rtp_ns: 2.0,
+            t_wl_ck: 4,
+            t_burst_ck: 2,
+            t_rtrs_ck: 1,
+            t_ccdl_ck: 3,
+            t_ccds_ck: 2,
+            t_wr_ns: 12.0,
+            t_refi_ns: 1900.0,
+            t_rfc_ns: 110.0,
+        }
+    }
+}
+
+/// All GDDR5 timing constraints pre-converted to command-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingCycles {
+    pub t_rc: Cycle,
+    pub t_rcd: Cycle,
+    pub t_rp: Cycle,
+    pub t_cas: Cycle,
+    pub t_ras: Cycle,
+    pub t_rrd: Cycle,
+    pub t_wtr: Cycle,
+    pub t_faw: Cycle,
+    pub t_rtp: Cycle,
+    pub t_wl: Cycle,
+    pub t_burst: Cycle,
+    pub t_rtrs: Cycle,
+    pub t_ccdl: Cycle,
+    pub t_ccds: Cycle,
+    pub t_wr: Cycle,
+    pub t_refi: Cycle,
+    pub t_rfc: Cycle,
+}
+
+impl TimingParams {
+    /// Convert to whole cycles in the given clock domain (rounding
+    /// constraints *up*, since they are minimum delays).
+    pub fn in_cycles(&self, clk: ClockDomain) -> TimingCycles {
+        TimingCycles {
+            t_rc: clk.ns_to_cycles(self.t_rc_ns),
+            t_rcd: clk.ns_to_cycles(self.t_rcd_ns),
+            t_rp: clk.ns_to_cycles(self.t_rp_ns),
+            t_cas: clk.ns_to_cycles(self.t_cas_ns),
+            t_ras: clk.ns_to_cycles(self.t_ras_ns),
+            t_rrd: clk.ns_to_cycles(self.t_rrd_ns),
+            t_wtr: clk.ns_to_cycles(self.t_wtr_ns),
+            t_faw: clk.ns_to_cycles(self.t_faw_ns),
+            t_rtp: clk.ns_to_cycles(self.t_rtp_ns),
+            t_wl: self.t_wl_ck,
+            t_burst: self.t_burst_ck,
+            t_rtrs: self.t_rtrs_ck,
+            t_ccdl: self.t_ccdl_ck,
+            t_ccds: self.t_ccds_ck,
+            t_wr: clk.ns_to_cycles(self.t_wr_ns),
+            t_refi: clk.ns_to_cycles(self.t_refi_ns),
+            t_rfc: clk.ns_to_cycles(self.t_rfc_ns),
+        }
+    }
+
+    /// Nanoseconds of one data burst (tBURST expressed in time): used by the
+    /// MERB derivation, which the paper performs in nanoseconds.
+    pub fn t_burst_ns(&self, clk: ClockDomain) -> f64 {
+        self.t_burst_ck as f64 * clk.tck_ns
+    }
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    pub size_bytes: usize,
+    pub line_bytes: usize,
+    pub ways: usize,
+    /// Number of MSHR entries (outstanding distinct miss lines).
+    pub mshr_entries: usize,
+    /// Hit / lookup latency in cycles.
+    pub latency: Cycle,
+}
+
+impl CacheConfig {
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// GPU-core-side configuration (Table II, "GPU System Configuration").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of compute units (SMs). Table II: 30.
+    pub num_sms: usize,
+    /// SIMD width. Table II: 32.
+    pub warp_size: usize,
+    /// Maximum resident warps per SM (1024 threads / 32 lanes = 32).
+    pub max_warps_per_sm: usize,
+    pub l1: CacheConfig,
+    pub l2_slice: CacheConfig,
+    /// One-way crossbar pipeline latency, cycles.
+    pub xbar_latency: Cycle,
+    /// Per-SM injection queue capacity (requests).
+    pub xbar_queue: usize,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            num_sms: 30,
+            warp_size: 32,
+            max_warps_per_sm: 32,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 128,
+                ways: 8,
+                mshr_entries: 32,
+                latency: 1,
+            },
+            l2_slice: CacheConfig {
+                size_bytes: 128 * 1024,
+                line_bytes: 128,
+                ways: 16,
+                mshr_entries: 96,
+                latency: 24,
+            },
+            xbar_latency: 40,
+            xbar_queue: 8,
+        }
+    }
+}
+
+/// Memory-system configuration (Table II, DRAM side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Number of independent GDDR5 channels / memory partitions. Table II: 6.
+    pub num_channels: usize,
+    /// Banks per channel (2 x32 chips in tandem = one rank of 16 banks).
+    pub banks_per_channel: usize,
+    /// Banks per bank group (Table II: 4).
+    pub banks_per_group: usize,
+    /// Row buffer size in bytes per bank (2 KB => 16 x 128 B lines).
+    pub row_bytes: usize,
+    /// Read queue capacity per controller. Table II: 64.
+    pub read_queue: usize,
+    /// Write queue capacity per controller. Table II: 64.
+    pub write_queue: usize,
+    /// Write drain high watermark. Table II: 32.
+    pub write_hi: usize,
+    /// Write drain low watermark. Table II: 16.
+    pub write_lo: usize,
+    /// GDDR5 timing.
+    pub timing: TimingParams,
+    /// Latency of one hop on the inter-controller coordination network used
+    /// by WG-M (Section IV-C): serialisation of a 32-bit message over 16-bit
+    /// links (2 cycles) plus propagation.
+    pub coord_latency: Cycle,
+    /// GMC baseline: maximum row-hit streak before yielding (Section II-C).
+    pub gmc_max_streak: usize,
+    /// GMC baseline: age threshold (cycles) above which a row-miss is
+    /// force-prioritised to prevent starvation.
+    pub gmc_age_threshold: Cycle,
+    /// WG-W: how close (entries) to the high watermark the write queue must
+    /// be before unit warp-groups are prioritised (Section IV-E: 8).
+    pub wgw_margin: usize,
+    /// Data-bus bursts per 128 B cache-line access: a 64-bit GDDR5 channel
+    /// moves 64 B per BL8 burst (tBURST = 2 tCK), so a line is 2 bursts —
+    /// matching the paper's utilisation formula, which counts multiple
+    /// bursts per activate even for a single line.
+    pub bursts_per_access: u64,
+    /// Row-buffer management policy. The paper's GMC (and all its
+    /// schedulers) assume open-page; closed-page (auto-precharge after
+    /// every column access) is provided for the ablation harness.
+    pub page_policy: PagePolicy,
+    /// Model periodic all-bank refresh (tREFI/tRFC). On by default; the
+    /// ablation harness can disable it to quantify its ~4-6% cost.
+    pub refresh_enabled: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            num_channels: 6,
+            banks_per_channel: 16,
+            banks_per_group: 4,
+            row_bytes: 2048,
+            read_queue: 64,
+            write_queue: 64,
+            write_hi: 32,
+            write_lo: 16,
+            timing: TimingParams::default(),
+            coord_latency: 4,
+            gmc_max_streak: 16,
+            gmc_age_threshold: 12_000,
+            wgw_margin: 8,
+            bursts_per_access: 2,
+            page_policy: PagePolicy::Open,
+            refresh_enabled: true,
+        }
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Leave rows open after column accesses (the paper's configuration);
+    /// the transaction scheduler closes them on conflicts.
+    Open,
+    /// Precharge immediately after every column access (auto-precharge):
+    /// no row hits, no row conflicts — the classic trade.
+    Closed,
+}
+
+/// The scheduling policy run by every memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Strict first-come-first-serve over individual requests.
+    Fcfs,
+    /// First-ready FCFS (row hits first, then age) [Rixner+ ISCA'00].
+    FrFcfs,
+    /// Throughput-optimised GPU memory controller baseline (Section II-C).
+    Gmc,
+    /// Warp-aware FCFS over warp-groups [Yuan+ MICRO'08] (Section VI-C.2).
+    Wafcfs,
+    /// Single-bank warp-aware scheduling with a potential function
+    /// [Lakshminarayana+ CAL'11] (Section VI-C.1). `alpha_q` is the profiled
+    /// alpha in quarters: 1 => 0.25, 2 => 0.5, 3 => 0.75.
+    Sbwas { alpha_q: u8 },
+    /// Warp-group scheduling, single controller (Section IV-B).
+    Wg,
+    /// WG + multi-controller coordination (Section IV-C).
+    WgM,
+    /// WG-M + MERB bandwidth-aware row-miss insertion (Section IV-D).
+    WgBw,
+    /// WG-Bw + warp-aware write draining (Section IV-E).
+    WgW,
+    /// Ideal model for Fig. 4: after a warp-group's first DRAM request is
+    /// serviced, its remaining requests bypass bank timing and only pay bus
+    /// bandwidth.
+    ZeroDivergence,
+    /// Parallelism-aware batch scheduling \[Mutlu & Moscibroda, ISCA'08\]
+    /// — the CPU-space batching scheme the paper contrasts with
+    /// warp-groups in Section VI-C.3: batches are formed *per bank across
+    /// warps* for fairness, ranked by the MAX rule, rather than per warp
+    /// for latency-divergence.
+    ParBs,
+    /// ATLAS-style least-attained-service scheduling \[Kim+ HPCA'10\],
+    /// the other CPU-space multi-controller scheme of Section VI-C.3:
+    /// warps that received the least DRAM service in the previous epoch are
+    /// prioritised in the next. Epoch granularity (the paper's objection:
+    /// far coarser than per-warp-group coordination) is `atlas_epoch`.
+    AtlasLite,
+    /// The paper's *future work* (Section VIII): WG-W extended to also
+    /// prioritise warp-groups whose lines are shared by multiple warps
+    /// (detected at the L2 MSHRs) — finishing them unblocks several warps
+    /// at once.
+    WgShared,
+}
+
+impl SchedulerKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::FrFcfs => "FR-FCFS",
+            SchedulerKind::Gmc => "GMC",
+            SchedulerKind::Wafcfs => "WAFCFS",
+            SchedulerKind::Sbwas { .. } => "SBWAS",
+            SchedulerKind::Wg => "WG",
+            SchedulerKind::WgM => "WG-M",
+            SchedulerKind::WgBw => "WG-Bw",
+            SchedulerKind::WgW => "WG-W",
+            SchedulerKind::ZeroDivergence => "ZeroDiv",
+            SchedulerKind::ParBs => "PAR-BS",
+            SchedulerKind::AtlasLite => "ATLAS",
+            SchedulerKind::WgShared => "WG-S",
+        }
+    }
+
+    /// Does this policy use the warp-group coordination network?
+    pub fn coordinates(&self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::WgM
+                | SchedulerKind::WgBw
+                | SchedulerKind::WgW
+                | SchedulerKind::WgShared
+        )
+    }
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub gpu: GpuConfig,
+    pub mem: MemConfig,
+    pub scheduler: SchedulerKind,
+    /// Model a perfect coalescer (one request per load) — the other ideal
+    /// model of Fig. 4.
+    pub perfect_coalescing: bool,
+    /// Hard cycle limit as a safety net; a run that hits it reports partial
+    /// statistics and `finished = false`.
+    pub max_cycles: Cycle,
+    /// Stop once this many warp-instructions have retired GPU-wide (the
+    /// paper's methodology: "1 billion instructions or to completion,
+    /// whichever is earlier"). `None` runs to completion. A fractional
+    /// budget (the runner uses ~70% of the kernel) keeps the measurement
+    /// throughput-oriented instead of tail-warp-dominated.
+    pub instruction_limit: Option<u64>,
+    /// Clock domain (GDDR5 command clock).
+    pub clock: ClockDomain,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig::default(),
+            mem: MemConfig::default(),
+            scheduler: SchedulerKind::Gmc,
+            perfect_coalescing: false,
+            max_cycles: 200_000_000,
+            instruction_limit: None,
+            clock: ClockDomain::GDDR5,
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Lines per DRAM row (row_bytes / line_bytes).
+    pub fn lines_per_row(&self) -> usize {
+        self.mem.row_bytes / self.gpu.l2_slice.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_timing_in_cycles() {
+        let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+        assert_eq!(t.t_rc, 60);
+        assert_eq!(t.t_rcd, 18);
+        assert_eq!(t.t_rp, 18);
+        assert_eq!(t.t_cas, 18);
+        assert_eq!(t.t_ras, 42);
+        assert_eq!(t.t_rrd, 9);
+        assert_eq!(t.t_wtr, 8);
+        assert_eq!(t.t_faw, 35);
+        assert_eq!(t.t_rtp, 3);
+        assert_eq!(t.t_wl, 4);
+        assert_eq!(t.t_burst, 2);
+        assert_eq!(t.t_ccdl, 3);
+        assert_eq!(t.t_ccds, 2);
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let c = SimConfig::default();
+        assert_eq!(c.gpu.num_sms, 30);
+        assert_eq!(c.gpu.warp_size, 32);
+        assert_eq!(c.mem.num_channels, 6);
+        assert_eq!(c.mem.banks_per_channel, 16);
+        assert_eq!(c.mem.banks_per_group, 4);
+        assert_eq!(c.mem.read_queue, 64);
+        assert_eq!(c.mem.write_queue, 64);
+        assert_eq!(c.mem.write_hi, 32);
+        assert_eq!(c.mem.write_lo, 16);
+        assert_eq!(c.gpu.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.gpu.l1.ways, 8);
+        assert_eq!(c.gpu.l2_slice.size_bytes, 128 * 1024);
+        assert_eq!(c.gpu.l2_slice.ways, 16);
+        assert_eq!(c.gpu.l1.line_bytes, 128);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = GpuConfig::default();
+        assert_eq!(c.l1.sets(), 32 * 1024 / (128 * 8));
+        assert_eq!(c.l2_slice.sets(), 128 * 1024 / (128 * 16));
+    }
+
+    #[test]
+    fn scheduler_names_and_coordination() {
+        assert_eq!(SchedulerKind::WgW.name(), "WG-W");
+        assert!(SchedulerKind::WgM.coordinates());
+        assert!(SchedulerKind::WgBw.coordinates());
+        assert!(!SchedulerKind::Wg.coordinates());
+        assert!(!SchedulerKind::Gmc.coordinates());
+    }
+
+    #[test]
+    fn lines_per_row() {
+        let c = SimConfig::default();
+        assert_eq!(c.lines_per_row(), 16);
+    }
+}

@@ -1,0 +1,139 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulator is index-based throughout (see the Rust Performance Book's
+//! advice on small hot types): every identifier is a thin newtype over a
+//! small integer so that hot structures such as [`crate::req::MemRequest`]
+//! stay compact and `Copy`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a streaming multiprocessor (SM / compute unit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SmId(pub u16);
+
+/// Identifier of a warp *within* one SM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WarpId(pub u16);
+
+/// Globally unique warp identifier: the (SM, warp-slot) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalWarpId {
+    pub sm: SmId,
+    pub warp: WarpId,
+}
+
+impl GlobalWarpId {
+    pub fn new(sm: u16, warp: u16) -> Self {
+        Self {
+            sm: SmId(sm),
+            warp: WarpId(warp),
+        }
+    }
+
+    /// Flatten to a dense index given the number of warps per SM.
+    #[inline]
+    pub fn flat(&self, warps_per_sm: usize) -> usize {
+        self.sm.0 as usize * warps_per_sm + self.warp.0 as usize
+    }
+}
+
+/// Identifier of a memory channel (memory partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u8);
+
+/// Identifier of a DRAM bank within one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId(pub u8);
+
+/// Unique id for every memory request created during a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A *warp-group* identifies one dynamic load (or store) instruction of one
+/// warp: all DRAM requests spawned by that instruction belong to the group.
+///
+/// This is the unit the paper's warp-aware schedulers batch and score
+/// (Section IV-A). `load_serial` disambiguates successive loads of the same
+/// warp so that two loads in flight never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WarpGroupId {
+    pub warp: GlobalWarpId,
+    pub load_serial: u32,
+}
+
+impl WarpGroupId {
+    pub fn new(warp: GlobalWarpId, load_serial: u32) -> Self {
+        Self { warp, load_serial }
+    }
+}
+
+/// Active-lane mask for a 32-lane warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaneMask(pub u32);
+
+impl LaneMask {
+    pub const ALL: LaneMask = LaneMask(u32::MAX);
+    pub const NONE: LaneMask = LaneMask(0);
+
+    #[inline]
+    pub fn is_active(&self, lane: usize) -> bool {
+        debug_assert!(lane < 32);
+        self.0 & (1 << lane) != 0
+    }
+
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    #[inline]
+    pub fn set(&mut self, lane: usize) {
+        debug_assert!(lane < 32);
+        self.0 |= 1 << lane;
+    }
+
+    /// Iterate over the indices of active lanes.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..32usize).filter(move |l| bits & (1 << l) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_mask_basic() {
+        let mut m = LaneMask::NONE;
+        assert_eq!(m.count(), 0);
+        m.set(0);
+        m.set(31);
+        assert_eq!(m.count(), 2);
+        assert!(m.is_active(0));
+        assert!(m.is_active(31));
+        assert!(!m.is_active(15));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 31]);
+    }
+
+    #[test]
+    fn lane_mask_all() {
+        assert_eq!(LaneMask::ALL.count(), 32);
+        assert_eq!(LaneMask::ALL.iter().count(), 32);
+    }
+
+    #[test]
+    fn global_warp_flat_index() {
+        let w = GlobalWarpId::new(3, 5);
+        assert_eq!(w.flat(48), 3 * 48 + 5);
+    }
+
+    #[test]
+    fn warp_group_ordering_disambiguates_loads() {
+        let w = GlobalWarpId::new(0, 0);
+        let a = WarpGroupId::new(w, 0);
+        let b = WarpGroupId::new(w, 1);
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+}

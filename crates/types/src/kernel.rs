@@ -1,0 +1,165 @@
+//! The kernel instruction IR executed by the SIMT core model.
+//!
+//! The simulator is trace-driven: instead of functionally executing
+//! PTX/SASS, each warp runs a small program of [`Instruction`]s produced by
+//! `ldsim-workloads`. This keeps exactly the behaviour the paper studies —
+//! per-warp lockstep blocking on divergent loads, inter-warp interleaving in
+//! the memory system — while dropping functional ISA simulation (see
+//! DESIGN.md substitution #1).
+
+use crate::ids::LaneMask;
+use serde::{Deserialize, Serialize};
+
+/// One warp-level instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// `n` back-to-back single-cycle ALU instruction groups. The warp is
+    /// busy for `n` cycles and retires `n` instructions, occupying the SM's
+    /// shared issue port throughout.
+    Compute(u32),
+    /// Warp-private latency: the warp is busy `n` cycles (scoreboard
+    /// dependencies, SFU/texture latency, serialised control flow) and
+    /// retires `n` instruction-equivalents, but holds the issue port for
+    /// only one cycle — other warps keep issuing meanwhile.
+    Delay(u32),
+    /// A vector (gather) load: one byte address per lane. The warp blocks
+    /// until every coalesced request is serviced.
+    Load {
+        addrs: Box<[u64; 32]>,
+        mask: LaneMask,
+    },
+    /// A vector (scatter) store: fire-and-forget to the L2 (GPU stores are
+    /// not on the critical path; Section II-C), but still generates the DRAM
+    /// write traffic that the write-drain machinery manages.
+    Store {
+        addrs: Box<[u64; 32]>,
+        mask: LaneMask,
+    },
+}
+
+impl Instruction {
+    /// Convenience constructor for a fully-active load.
+    pub fn load(addrs: [u64; 32]) -> Self {
+        Instruction::Load {
+            addrs: Box::new(addrs),
+            mask: LaneMask::ALL,
+        }
+    }
+
+    /// Convenience constructor for a fully-active store.
+    pub fn store(addrs: [u64; 32]) -> Self {
+        Instruction::Store {
+            addrs: Box::new(addrs),
+            mask: LaneMask::ALL,
+        }
+    }
+
+    /// Number of instructions this entry retires (for IPC accounting).
+    pub fn retired_count(&self) -> u64 {
+        match self {
+            Instruction::Compute(n) | Instruction::Delay(n) => *n as u64,
+            _ => 1,
+        }
+    }
+
+    pub fn is_mem(&self) -> bool {
+        !matches!(self, Instruction::Compute(_))
+    }
+}
+
+/// The instruction stream of one warp.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WarpProgram {
+    pub insns: Vec<Instruction>,
+}
+
+impl WarpProgram {
+    pub fn new(insns: Vec<Instruction>) -> Self {
+        Self { insns }
+    }
+
+    pub fn num_loads(&self) -> usize {
+        self.insns
+            .iter()
+            .filter(|i| matches!(i, Instruction::Load { .. }))
+            .count()
+    }
+
+    pub fn num_stores(&self) -> usize {
+        self.insns
+            .iter()
+            .filter(|i| matches!(i, Instruction::Store { .. }))
+            .count()
+    }
+
+    pub fn total_instructions(&self) -> u64 {
+        self.insns.iter().map(|i| i.retired_count()).sum()
+    }
+}
+
+/// A whole kernel: one program per (SM, warp slot). `programs[sm][warp]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelProgram {
+    pub name: String,
+    pub programs: Vec<Vec<WarpProgram>>,
+}
+
+impl KernelProgram {
+    pub fn num_warps(&self) -> usize {
+        self.programs.iter().map(|sm| sm.len()).sum()
+    }
+
+    pub fn total_instructions(&self) -> u64 {
+        self.programs
+            .iter()
+            .flat_map(|sm| sm.iter())
+            .map(|w| w.total_instructions())
+            .sum()
+    }
+
+    pub fn total_loads(&self) -> usize {
+        self.programs
+            .iter()
+            .flat_map(|sm| sm.iter())
+            .map(|w| w.num_loads())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retired_counts() {
+        assert_eq!(Instruction::Compute(7).retired_count(), 7);
+        assert_eq!(Instruction::load([0; 32]).retired_count(), 1);
+        assert!(Instruction::load([0; 32]).is_mem());
+        assert!(!Instruction::Compute(1).is_mem());
+    }
+
+    #[test]
+    fn program_counts() {
+        let p = WarpProgram::new(vec![
+            Instruction::Compute(10),
+            Instruction::load([0; 32]),
+            Instruction::store([0; 32]),
+            Instruction::load([128; 32]),
+        ]);
+        assert_eq!(p.num_loads(), 2);
+        assert_eq!(p.num_stores(), 1);
+        assert_eq!(p.total_instructions(), 13);
+    }
+
+    #[test]
+    fn kernel_aggregation() {
+        let w = WarpProgram::new(vec![Instruction::Compute(5), Instruction::load([0; 32])]);
+        let k = KernelProgram {
+            name: "t".into(),
+            programs: vec![vec![w.clone(), w.clone()], vec![w]],
+        };
+        assert_eq!(k.num_warps(), 3);
+        assert_eq!(k.total_instructions(), 18);
+        assert_eq!(k.total_loads(), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Memory requests and responses.
+//!
+//! A [`MemRequest`] is one 128 B cache-line transaction travelling from an SM
+//! (or an L2 write-back) to a memory partition. Requests produced by the same
+//! dynamic load instruction of one warp share a [`WarpGroupId`], and the last
+//! request of the group to leave the SM carries `last_of_group = true` — this
+//! is the tag the WG transaction scheduler uses to know a warp-group has
+//! fully arrived (Section IV-B.2).
+
+use crate::addr::DecodedAddr;
+use crate::clock::Cycle;
+use crate::ids::{RequestId, WarpGroupId};
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    Read,
+    Write,
+}
+
+/// One cache-line-sized memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemRequest {
+    pub id: RequestId,
+    pub kind: ReqKind,
+    /// 128 B line address (byte address >> 7).
+    pub line_addr: u64,
+    /// Decoded channel/bank/row/column.
+    pub decoded: DecodedAddr,
+    /// Warp-group (dynamic load) this request belongs to. Write-backs from
+    /// the L2 carry the group of the instruction that *triggered* the
+    /// eviction but are not counted toward warp completion.
+    pub wg: WarpGroupId,
+    /// True on the final request of the warp-group sent to *this* channel;
+    /// the WG scheduler waits for it before the group becomes schedulable.
+    pub last_of_group: bool,
+    /// Number of requests in this warp-group destined for this channel
+    /// (carried redundantly on each member so a controller can size the
+    /// group on first sight).
+    pub group_size_on_channel: u16,
+    /// Cycle the warp issued the load on its SM (for end-to-end latency).
+    pub issue_cycle: Cycle,
+    /// Cycle the request arrived at the memory controller (stamped there).
+    pub arrival_cycle: Cycle,
+}
+
+/// Completion notice returned by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemResponse {
+    pub id: RequestId,
+    pub wg: WarpGroupId,
+    pub line_addr: u64,
+    pub kind: ReqKind,
+    /// Cycle at which the data left the DRAM bus (reads) or was accepted
+    /// (writes).
+    pub done_cycle: Cycle,
+}
+
+impl MemRequest {
+    /// True if `other` targets the same DRAM row of the same bank of the
+    /// same channel.
+    #[inline]
+    pub fn row_buddy(&self, other: &MemRequest) -> bool {
+        self.decoded.same_row(&other.decoded)
+    }
+
+    pub fn is_read(&self) -> bool {
+        self.kind == ReqKind::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddressMapper;
+    use crate::config::MemConfig;
+    use crate::ids::GlobalWarpId;
+
+    fn mk(addr: u64, kind: ReqKind) -> MemRequest {
+        let m = AddressMapper::new(&MemConfig::default(), 128);
+        MemRequest {
+            id: RequestId(0),
+            kind,
+            line_addr: m.line_addr(addr),
+            decoded: m.decode(addr),
+            wg: WarpGroupId::new(GlobalWarpId::new(0, 0), 0),
+            last_of_group: false,
+            group_size_on_channel: 1,
+            issue_cycle: 0,
+            arrival_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn row_buddy_same_block() {
+        let a = mk(0x8000, ReqKind::Read);
+        let b = mk(0x8080, ReqKind::Read);
+        assert!(a.row_buddy(&b));
+        assert!(a.is_read());
+        assert!(!mk(0, ReqKind::Write).is_read());
+    }
+}

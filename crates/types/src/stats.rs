@@ -1,0 +1,162 @@
+//! Statistics primitives shared by every component.
+
+use serde::{Deserialize, Serialize};
+
+/// A running mean that never stores samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMean {
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl RunningMean {
+    #[inline]
+    pub fn add(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A fixed-bucket histogram with a final overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bucket_width: u64,
+    pub buckets: Vec<u64>,
+    pub total: u64,
+    pub max_seen: u64,
+}
+
+impl Histogram {
+    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
+        assert!(bucket_width > 0 && num_buckets > 0);
+        Self {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    #[inline]
+    pub fn add(&mut self, sample: u64) {
+        let idx = ((sample / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(sample);
+    }
+
+    /// Value at or below which `q` (0..=1) of samples fall, approximated at
+    /// bucket granularity.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.max_seen
+    }
+}
+
+/// Geometric mean of positive ratios — the aggregation the paper uses for
+/// IPC speedups across benchmarks.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive inputs, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::default();
+        assert_eq!(m.mean(), 0.0);
+        m.add(2.0);
+        m.add(4.0);
+        assert_eq!(m.mean(), 3.0);
+        let mut other = RunningMean::default();
+        other.add(6.0);
+        m.merge(&other);
+        assert_eq!(m.mean(), 4.0);
+        assert_eq!(m.count, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 4);
+        for s in [0, 5, 9, 10, 25, 39, 1000] {
+            h.add(s);
+        }
+        assert_eq!(h.buckets, vec![3, 1, 1, 2]);
+        assert_eq!(h.total, 7);
+        assert_eq!(h.max_seen, 1000);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1, 100);
+        for s in 0..100u64 {
+            h.add(s);
+        }
+        assert_eq!(h.quantile(0.5), 50);
+        assert!(h.quantile(0.99) >= 98);
+        assert_eq!(Histogram::new(1, 4).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn geomean_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! MERB explorer: how the Minimum Efficient Row Burst table (Table I)
+//! responds to DRAM timing — the paper computes it at boot from the
+//! datasheet, so a faster tRP/tRCD part needs shorter hit bursts to hide a
+//! row miss.
+//!
+//!     cargo run --release --example merb_explorer
+
+use ldsim::gddr5::merb::single_bank_utilization;
+use ldsim::gddr5::MerbTable;
+use ldsim::types::clock::ClockDomain;
+use ldsim::types::config::TimingParams;
+
+fn main() {
+    println!("MERB vs banks-with-pending-work, for three GDDR5 speed grades\n");
+    let mut grades: Vec<(&str, TimingParams)> = Vec::new();
+    grades.push(("paper (Hynix 6 Gbps)", TimingParams::default()));
+    let fast = TimingParams {
+        t_rp_ns: 10.0,
+        t_rcd_ns: 10.0,
+        t_rtp_ns: 2.0,
+        ..TimingParams::default()
+    };
+    grades.push(("faster core (tRP=tRCD=10ns)", fast));
+    let slow = TimingParams {
+        t_rp_ns: 15.0,
+        t_rcd_ns: 15.0,
+        ..TimingParams::default()
+    };
+    grades.push(("slower core (tRP=tRCD=15ns)", slow));
+
+    print!("{:28}", "banks:");
+    for b in 1..=8 {
+        print!("{b:5}");
+    }
+    println!();
+    for (name, t) in &grades {
+        let merb = MerbTable::from_timing(t, ClockDomain::GDDR5, 16);
+        print!("{name:28}");
+        for b in 1..=8 {
+            print!("{:5}", merb.get(b));
+        }
+        println!();
+    }
+
+    println!("\nsingle-bank utilisation vs row-hits-per-activate (paper formula):");
+    let t = TimingParams::default();
+    for n in [1u64, 2, 4, 8, 16, 31] {
+        println!(
+            "  n = {n:2}: {:5.1}%",
+            single_bank_utilization(&t, ClockDomain::GDDR5, n) * 100.0
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Write-drain study: why WG-W exists.
+//!
+//! Runs the write-heavy benchmarks (nw, SS, sad — Fig. 12's high-intensity
+//! group) under WG-Bw and WG-W and reports drain-stall composition and the
+//! resulting IPC. WG-W pushes unit-sized warp-groups through before each
+//! drain so nearly-complete warps are not stranded behind a write batch.
+//!
+//!     cargo run --release --example write_drain_study
+
+use ldsim::prelude::*;
+use ldsim::system::table::Table;
+
+fn main() {
+    let mut t = Table::new(&[
+        "benchmark",
+        "write intensity",
+        "drains",
+        "stalled groups",
+        "unit+orphan",
+        "WG-W / WG-Bw",
+    ]);
+    for bench in ["nw", "SS", "sad", "spmv"] {
+        let kernel = benchmark(bench, Scale::Small, 3).generate();
+        let cfg = SimConfig {
+            instruction_limit: Some(kernel.total_instructions() * 7 / 10),
+            ..SimConfig::default()
+        };
+        let bw = Simulator::new(cfg.clone().with_scheduler(SchedulerKind::WgBw), &kernel).run();
+        let ww = Simulator::new(cfg.with_scheduler(SchedulerKind::WgW), &kernel).run();
+        t.row(vec![
+            bench.into(),
+            format!("{:.1}%", bw.write_intensity * 100.0),
+            bw.drains.to_string(),
+            bw.drain_stalled_groups.to_string(),
+            format!("{:.1}%", bw.drain_unit_orphan_frac() * 100.0),
+            format!("{:.3}", ww.ipc() / bw.ipc()),
+        ]);
+    }
+    println!("Write-drain behaviour (WG-Bw baseline, Fig. 12's metrics)\n");
+    t.print();
+    println!("\nspmv is shown as a low-write control: few drains, little for WG-W to do.");
+}

@@ -1,0 +1,153 @@
+//! `ldsim-cli` — run any benchmark under any scheduler from the command
+//! line and inspect the result (optionally exporting a per-load trace).
+//!
+//! ```console
+//! $ ldsim-cli --bench spmv --scheduler wg-w --scale small
+//! $ ldsim-cli --bench bfs --scheduler gmc --trace /tmp/bfs.csv
+//! $ ldsim-cli --list
+//! ```
+
+use ldsim::prelude::*;
+use ldsim::system::table::Table;
+use ldsim::workloads::{IRREGULAR, REGULAR};
+use std::io::Write;
+
+fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "fcfs" => SchedulerKind::Fcfs,
+        "fr-fcfs" | "frfcfs" => SchedulerKind::FrFcfs,
+        "gmc" => SchedulerKind::Gmc,
+        "wafcfs" => SchedulerKind::Wafcfs,
+        "sbwas" => SchedulerKind::Sbwas { alpha_q: 2 },
+        "sbwas-25" => SchedulerKind::Sbwas { alpha_q: 1 },
+        "sbwas-75" => SchedulerKind::Sbwas { alpha_q: 3 },
+        "wg" => SchedulerKind::Wg,
+        "wg-m" | "wgm" => SchedulerKind::WgM,
+        "wg-bw" | "wgbw" => SchedulerKind::WgBw,
+        "wg-w" | "wgw" => SchedulerKind::WgW,
+        "zero-div" | "zerodiv" => SchedulerKind::ZeroDivergence,
+        "par-bs" | "parbs" => SchedulerKind::ParBs,
+        "atlas" => SchedulerKind::AtlasLite,
+        "wg-s" | "wgs" => SchedulerKind::WgShared,
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldsim-cli [--list] --bench <name> [--scheduler <name>] \
+         [--scale tiny|small|full] [--seed N] [--trace <csv-path>]"
+    );
+    eprintln!("schedulers: fcfs fr-fcfs gmc wafcfs sbwas[-25|-75] wg wg-m wg-bw wg-w wg-s zero-div par-bs atlas");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = None;
+    let mut sched = SchedulerKind::WgW;
+    let mut scale = Scale::Small;
+    let mut seed = 1u64;
+    let mut trace: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("irregular (Table III):");
+                for p in IRREGULAR {
+                    println!("  {:14} {}", p.name, p.suite);
+                }
+                println!("regular (Section VI-A):");
+                for p in REGULAR {
+                    println!("  {:14} {}", p.name, p.suite);
+                }
+                return;
+            }
+            "--bench" => {
+                i += 1;
+                bench = args.get(i).cloned();
+            }
+            "--scheduler" => {
+                i += 1;
+                sched = args
+                    .get(i)
+                    .and_then(|s| parse_scheduler(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--trace" => {
+                i += 1;
+                trace = args.get(i).cloned();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(bench) = bench else { usage() };
+
+    let kernel = benchmark(&bench, scale, seed).generate();
+    let mut cfg = SimConfig::default().with_scheduler(sched);
+    cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
+    let (r, records) = Simulator::new(cfg, &kernel).run_with_records();
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["benchmark".into(), r.benchmark.clone()]);
+    t.row(vec!["scheduler".into(), r.scheduler.clone()]);
+    t.row(vec!["cycles".into(), r.cycles.to_string()]);
+    t.row(vec!["instructions".into(), r.instructions.to_string()]);
+    t.row(vec!["IPC".into(), format!("{:.3}", r.ipc())]);
+    t.row(vec!["loads".into(), r.loads.to_string()]);
+    t.row(vec!["divergent loads".into(), format!("{:.1}%", r.divergent_frac() * 100.0)]);
+    t.row(vec!["requests / load".into(), format!("{:.2}", r.avg_reqs_per_load)]);
+    t.row(vec!["effective latency (cyc)".into(), format!("{:.0}", r.avg_effective_latency)]);
+    t.row(vec!["divergence gap (cyc)".into(), format!("{:.0}", r.avg_dram_gap)]);
+    t.row(vec!["controllers / warp".into(), format!("{:.2}", r.avg_channels_touched)]);
+    t.row(vec!["bus utilisation".into(), format!("{:.1}%", r.bw_utilization * 100.0)]);
+    t.row(vec!["row-hit rate".into(), format!("{:.1}%", r.row_hit_rate * 100.0)]);
+    t.row(vec!["write intensity".into(), format!("{:.1}%", r.write_intensity * 100.0)]);
+    t.row(vec!["DRAM power (W)".into(), format!("{:.1}", r.dram_power_w)]);
+    t.row(vec!["L1 / L2 hit rate".into(), format!("{:.1}% / {:.1}%", r.l1_hit_rate * 100.0, r.l2_hit_rate * 100.0)]);
+    t.print();
+
+    if let Some(path) = trace {
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        writeln!(
+            f,
+            "sm,warp,lanes,coalesced,mem_reqs,dram_responses,issue,complete,first_dram,last_dram,channels,banks,same_row"
+        )
+        .unwrap();
+        for rec in &records {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                rec.warp.sm.0,
+                rec.warp.warp.0,
+                rec.active_lanes,
+                rec.coalesced,
+                rec.mem_reqs,
+                rec.dram_responses,
+                rec.issue,
+                rec.complete,
+                rec.first_dram,
+                rec.last_dram,
+                rec.channels_touched,
+                rec.banks_touched,
+                rec.same_row_reqs
+            )
+            .unwrap();
+        }
+        println!("\nwrote {} load records to {path}", records.len());
+    }
+}

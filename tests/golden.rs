@@ -1,0 +1,94 @@
+//! Golden regression tests: Small-scale metrics for representative
+//! benchmarks must stay inside tolerance bands. These catch accidental
+//! behavioural drift in any layer (generator, caches, controller, DRAM)
+//! that the unit tests are too local to see.
+//!
+//! Bands are deliberately generous (±25-40% around values recorded at
+//! calibration time) — they flag structural regressions, not noise.
+
+use ldsim::prelude::*;
+
+fn run(bench: &str, kind: SchedulerKind) -> ldsim::system::RunResult {
+    let kernel = benchmark(bench, Scale::Small, 1).generate();
+    let cfg = SimConfig {
+        instruction_limit: Some(kernel.total_instructions() * 7 / 10),
+        ..SimConfig::default()
+    }
+    .with_scheduler(kind);
+    Simulator::new(cfg, &kernel).run()
+}
+
+fn within(name: &str, got: f64, lo: f64, hi: f64) {
+    assert!(
+        got >= lo && got <= hi,
+        "{name}: {got:.3} outside golden band [{lo:.3}, {hi:.3}]"
+    );
+}
+
+#[test]
+fn golden_spmv_gmc() {
+    let r = run("spmv", SchedulerKind::Gmc);
+    assert!(r.finished);
+    within("divergent_frac", r.divergent_frac(), 0.5, 0.85);
+    within("reqs_per_load", r.avg_reqs_per_load, 4.0, 8.0);
+    within("channels", r.avg_channels_touched, 2.5, 4.2);
+    within("bus_util", r.bw_utilization, 0.2, 0.75);
+    within("row_hit_rate", r.row_hit_rate, 0.08, 0.45);
+    within("eff_latency", r.avg_effective_latency, 250.0, 2500.0);
+}
+
+#[test]
+fn golden_nw_write_path() {
+    // Run nw to completion (not the 70% budget): write-backs only reach
+    // DRAM once the L2 starts evicting dirty lines, late in the run.
+    let kernel = benchmark("nw", Scale::Small, 1).generate();
+    let cfg = SimConfig::default().with_scheduler(SchedulerKind::WgW);
+    let r = Simulator::new(cfg, &kernel).run();
+    assert!(r.finished);
+    within("write_intensity", r.write_intensity, 0.005, 0.5);
+    assert!(r.dram_writes > 0);
+    within("divergent_frac", r.divergent_frac(), 0.3, 0.65);
+}
+
+#[test]
+fn golden_regular_bp() {
+    let r = run("bp", SchedulerKind::Gmc);
+    assert!(r.finished);
+    within("divergent_frac", r.divergent_frac(), 0.0, 0.12);
+    within("reqs_per_load", r.avg_reqs_per_load, 1.0, 1.5);
+    within("row_hit_rate", r.row_hit_rate, 0.02, 0.8);
+}
+
+#[test]
+fn golden_scheduler_orderings() {
+    // Structural orderings that must never regress, whatever the tuning:
+    for bench in ["bfs", "sssp"] {
+        let gmc = run(bench, SchedulerKind::Gmc);
+        let wafcfs = run(bench, SchedulerKind::Wafcfs);
+        let zd = run(bench, SchedulerKind::ZeroDivergence);
+        assert!(
+            wafcfs.ipc() < gmc.ipc() * 1.02,
+            "{bench}: WAFCFS must not beat GMC meaningfully"
+        );
+        assert!(
+            zd.ipc() > gmc.ipc() * 0.99,
+            "{bench}: the zero-divergence ideal must not lose to GMC"
+        );
+        assert!(
+            zd.avg_dram_gap < gmc.avg_dram_gap * 0.8,
+            "{bench}: zero-div must slash the divergence gap"
+        );
+        assert!(
+            wafcfs.row_hit_rate <= gmc.row_hit_rate + 0.02,
+            "{bench}: WAFCFS cannot create row locality"
+        );
+    }
+}
+
+#[test]
+fn golden_power_scale() {
+    // Six GDDR5 channels at moderate utilisation: total DRAM power must be
+    // in the tens of watts, not milliwatts or kilowatts.
+    let r = run("kmeans", SchedulerKind::Gmc);
+    within("dram_power_w", r.dram_power_w, 5.0, 60.0);
+}

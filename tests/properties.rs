@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) over the core invariants.
+#![allow(clippy::field_reassign_with_default)]
+
+use ldsim::gddr5::Channel;
+use ldsim::types::addr::AddressMapper;
+use ldsim::types::clock::ClockDomain;
+use ldsim::types::config::{MemConfig, TimingParams};
+use ldsim::types::ids::BankId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Decoded fields always stay inside the configured geometry.
+    #[test]
+    fn decode_stays_in_bounds(addr in 0u64..(1 << 40)) {
+        let m = AddressMapper::new(&MemConfig::default(), 128);
+        let d = m.decode(addr);
+        prop_assert!((d.channel.0 as usize) < 6);
+        prop_assert!((d.bank.0 as usize) < 16);
+        prop_assert!(d.bank_group < 4);
+        prop_assert!(d.col < 16);
+        prop_assert!(d.row < 8192);
+    }
+
+    /// Addresses within one 256B block always decode identically except for
+    /// the line bit of the column.
+    #[test]
+    fn block_locality(base in 0u64..(1 << 32)) {
+        let m = AddressMapper::new(&MemConfig::default(), 128);
+        let a = m.decode(base & !0xFF);
+        let b = m.decode((base & !0xFF) | 0x80);
+        prop_assert_eq!(a.channel, b.channel);
+        prop_assert_eq!(a.bank, b.bank);
+        prop_assert_eq!(a.row, b.row);
+        prop_assert_eq!(a.col ^ 1, b.col);
+    }
+
+    /// Every line returned by same_row_lines really shares (channel, bank,
+    /// row) with the probe address.
+    #[test]
+    fn same_row_lines_sound(addr in 0u64..(1 << 34)) {
+        let m = AddressMapper::new(&MemConfig::default(), 128);
+        let d = m.decode(addr);
+        for a in m.same_row_lines(addr) {
+            let e = m.decode(a);
+            prop_assert!(e.same_row(&d));
+        }
+    }
+
+    /// The DRAM channel never deadlocks and never violates legality when a
+    /// greedy driver issues random-but-legal traffic: every request stream
+    /// eventually completes and data-bus busy time matches the column count.
+    #[test]
+    fn channel_serves_random_traffic(
+        ops in proptest::collection::vec((0u8..16, 0u32..32, prop::bool::ANY), 1..60)
+    ) {
+        let mem = MemConfig::default();
+        let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+        let mut ch = Channel::new(&mem, t);
+        let mut served = 0u64;
+        let mut now = 0u64;
+        for (bank, row, is_write) in ops.iter().copied() {
+            let bank = BankId(bank);
+            // Close-if-needed, open, access — each step waits for legality.
+            if ch.bank(bank).open_row() != Some(row) {
+                if ch.bank(bank).is_open() {
+                    while !ch.can_pre(bank, now) { now += 1; }
+                    ch.issue_pre(bank, now);
+                    now += 1;
+                }
+                while !ch.can_act(bank, now) { now += 1; }
+                ch.issue_act(bank, row, now);
+                now += 1;
+            }
+            if is_write {
+                while !ch.can_write(bank, now) { now += 1; }
+                ch.issue_write(bank, now);
+            } else {
+                while !ch.can_read(bank, now) { now += 1; }
+                ch.issue_read(bank, now);
+            }
+            now += 1;
+            served += 1;
+            // Liveness bound: no single access can take longer than a few
+            // tRC windows under a single-stream driver.
+            prop_assert!(now < 1_000 + served * (t.t_rc + t.t_faw), "stalled at {now}");
+        }
+        prop_assert_eq!(ch.stats.reads + ch.stats.writes, served);
+        prop_assert_eq!(
+            ch.stats.data_bus_busy,
+            served * t.t_burst * mem.bursts_per_access
+        );
+    }
+
+    /// MERB tables are monotone non-increasing in bank count for any
+    /// plausible timing, and never exceed the 5-bit counter limit.
+    #[test]
+    fn merb_monotone(
+        rp in 8.0f64..20.0,
+        rcd in 8.0f64..20.0,
+        rtp in 1.0f64..4.0,
+        faw in 15.0f64..40.0,
+        rrd in 3.0f64..10.0,
+    ) {
+        let mut tp = TimingParams::default();
+        tp.t_rp_ns = rp;
+        tp.t_rcd_ns = rcd;
+        tp.t_rtp_ns = rtp;
+        tp.t_faw_ns = faw;
+        tp.t_rrd_ns = rrd;
+        let m = ldsim::gddr5::MerbTable::from_timing(&tp, ClockDomain::GDDR5, 16);
+        for b in 1..16 {
+            prop_assert!(m.get(b) >= m.get(b + 1));
+            prop_assert!(m.get(b) <= 31);
+        }
+    }
+}
+
+mod scheduler_props {
+    use super::*;
+    use ldsim::prelude::*;
+    use ldsim::types::ids::LaneMask;
+    use ldsim::types::kernel::{Instruction, KernelProgram, WarpProgram};
+
+    /// Build a random-but-valid kernel from a compact seed description.
+    fn kernel_from(spec: &[(u8, u8)]) -> KernelProgram {
+        let mut programs = vec![Vec::new(), Vec::new()];
+        for (i, (pattern, n_mem)) in spec.iter().enumerate() {
+            let mut insns = Vec::new();
+            for j in 0..(*n_mem % 6 + 1) {
+                insns.push(Instruction::Delay(20 + (*pattern as u32) * 7));
+                let mut addrs = [0u64; 32];
+                for (l, a) in addrs.iter_mut().enumerate() {
+                    let cluster = l / (4 + (*pattern as usize % 4));
+                    *a = ((i * 131 + j as usize * 17 + cluster * 29) as u64 % 4096) * 4096;
+                }
+                if pattern % 5 == 0 {
+                    insns.push(Instruction::Store {
+                        addrs: Box::new(addrs),
+                        mask: LaneMask::ALL,
+                    });
+                } else {
+                    insns.push(Instruction::Load {
+                        addrs: Box::new(addrs),
+                        mask: LaneMask::ALL,
+                    });
+                }
+            }
+            programs[i % 2].push(WarpProgram::new(insns));
+        }
+        KernelProgram {
+            name: "prop".into(),
+            programs,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// No scheduler loses or duplicates work: same retired instruction
+        /// count for every policy on any kernel, and every run terminates.
+        #[test]
+        fn no_scheduler_loses_work(spec in proptest::collection::vec((0u8..8, 0u8..8), 2..10)) {
+            let kernel = kernel_from(&spec);
+            let total = kernel.total_instructions();
+            let mut counts = Vec::new();
+            for k in [
+                SchedulerKind::Fcfs,
+                SchedulerKind::Gmc,
+                SchedulerKind::Wafcfs,
+                SchedulerKind::Wg,
+                SchedulerKind::WgW,
+                SchedulerKind::ZeroDivergence,
+            ] {
+                let mut cfg = SimConfig::default().with_scheduler(k);
+                cfg.max_cycles = 3_000_000;
+                let r = Simulator::new(cfg, &kernel).run();
+                prop_assert!(r.finished, "{k:?} hit the cycle limit");
+                prop_assert_eq!(r.instructions, total);
+                counts.push(r.loads);
+            }
+            prop_assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}
