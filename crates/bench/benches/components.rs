@@ -1,6 +1,6 @@
 //! Component microbenchmarks: the hot paths of the simulator.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldsim_bench::microbench::bench;
 use ldsim_gddr5::{Channel, MerbTable};
 use ldsim_gpu::cache::{Cache, Mshr};
 use ldsim_gpu::coalescer::coalesce_into;
@@ -8,22 +8,21 @@ use ldsim_types::addr::AddressMapper;
 use ldsim_types::clock::ClockDomain;
 use ldsim_types::config::{GpuConfig, MemConfig, TimingParams};
 use ldsim_types::ids::{BankId, LaneMask};
+use std::hint::black_box;
 
-fn bench_addr_decode(c: &mut Criterion) {
+fn bench_addr_decode() {
     let m = AddressMapper::new(&MemConfig::default(), 128);
     let mut x = 0x9E37_79B9u64;
-    c.bench_function("addr/decode", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(m.decode(x & 0x3FFF_FFFF))
-        })
+    bench("addr/decode", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        m.decode(x & 0x3FFF_FFFF)
     });
-    c.bench_function("addr/same_row_lines", |b| {
-        b.iter(|| black_box(m.same_row_lines(black_box(0x1234_5600))))
+    bench("addr/same_row_lines", || {
+        m.same_row_lines(black_box(0x1234_5600))
     });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
+fn bench_coalescer() {
     let mut divergent = [0u64; 32];
     for (l, a) in divergent.iter_mut().enumerate() {
         *a = (l as u64) * 4096;
@@ -33,88 +32,93 @@ fn bench_coalescer(c: &mut Criterion) {
         *a = 0x1000 + 4 * l as u64;
     }
     let mut scratch = Vec::with_capacity(32);
-    c.bench_function("coalescer/divergent_32", |b| {
-        b.iter(|| coalesce_into(black_box(&divergent), LaneMask::ALL, 7, &mut scratch))
+    bench("coalescer/divergent_32", || {
+        coalesce_into(black_box(&divergent), LaneMask::ALL, 7, &mut scratch)
     });
-    c.bench_function("coalescer/unit_stride", |b| {
-        b.iter(|| coalesce_into(black_box(&unit), LaneMask::ALL, 7, &mut scratch))
+    let mut scratch = Vec::with_capacity(32);
+    bench("coalescer/unit_stride", || {
+        coalesce_into(black_box(&unit), LaneMask::ALL, 7, &mut scratch)
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let cfg = GpuConfig::default();
     let mut cache = Cache::new(&cfg.l2_slice);
     for l in 0..2048u64 {
         cache.fill(l, l % 3 == 0);
     }
     let mut x = 1u64;
-    c.bench_function("cache/probe_l2", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(48271) % 4096;
-            black_box(cache.probe(x, false))
-        })
+    bench("cache/probe_l2", || {
+        x = x.wrapping_mul(48271) % 4096;
+        cache.probe(x, false)
     });
     let mut mshr: Mshr<u32> = Mshr::new(96);
-    c.bench_function("cache/mshr_register_fill", |b| {
-        b.iter(|| {
-            mshr.register(black_box(7), 1);
-            black_box(mshr.fill(7))
-        })
+    bench("cache/mshr_register_fill", || {
+        mshr.register(black_box(7), 1);
+        mshr.fill(7)
     });
 }
 
-fn bench_channel(c: &mut Criterion) {
+fn bench_channel() {
     let mem = MemConfig::default();
     let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
-    c.bench_function("channel/row_hit_stream", |b| {
-        b.iter(|| {
-            let mut ch = Channel::new(&mem, t);
-            let mut now = 0;
-            ch.issue_act(BankId(0), 1, now);
-            now += t.t_rcd;
-            for _ in 0..16 {
-                while !ch.can_read(BankId(0), now) {
-                    now += 1;
-                }
-                ch.issue_read(BankId(0), now);
+    bench("channel/row_hit_stream", || {
+        let mut ch = Channel::new(&mem, t);
+        let mut now = 0;
+        ch.issue_act(BankId(0), 1, now);
+        now += t.t_rcd;
+        for _ in 0..16 {
+            while !ch.can_read(BankId(0), now) {
+                now += 1;
             }
-            black_box(ch.stats.reads)
-        })
+            ch.issue_read(BankId(0), now);
+        }
+        ch.stats.reads
     });
-    c.bench_function("channel/bank_interleaved_misses", |b| {
-        b.iter(|| {
-            let mut ch = Channel::new(&mem, t);
-            let mut now = 0;
-            for bank in 0..16u8 {
-                while !ch.can_act(BankId(bank), now) {
-                    now += 1;
-                }
-                ch.issue_act(BankId(bank), 3, now);
+    bench("channel/row_hit_stream_audited", || {
+        let mut ch = Channel::new(&mem, t);
+        ch.enable_audit();
+        let mut now = 0;
+        ch.issue_act(BankId(0), 1, now);
+        now += t.t_rcd;
+        for _ in 0..16 {
+            while !ch.can_read(BankId(0), now) {
+                now += 1;
             }
-            for bank in 0..16u8 {
-                while !ch.can_read(BankId(bank), now) {
-                    now += 1;
-                }
-                ch.issue_read(BankId(bank), now);
+            ch.issue_read(BankId(0), now);
+        }
+        ch.stats.reads
+    });
+    bench("channel/bank_interleaved_misses", || {
+        let mut ch = Channel::new(&mem, t);
+        let mut now = 0;
+        for bank in 0..16u8 {
+            while !ch.can_act(BankId(bank), now) {
+                now += 1;
             }
-            black_box(now)
-        })
+            ch.issue_act(BankId(bank), 3, now);
+        }
+        for bank in 0..16u8 {
+            while !ch.can_read(BankId(bank), now) {
+                now += 1;
+            }
+            ch.issue_read(BankId(bank), now);
+        }
+        now
     });
 }
 
-fn bench_merb(c: &mut Criterion) {
+fn bench_merb() {
     let t = TimingParams::default();
-    c.bench_function("merb/from_timing", |b| {
-        b.iter(|| black_box(MerbTable::from_timing(&t, ClockDomain::GDDR5, 16)))
+    bench("merb/from_timing", || {
+        MerbTable::from_timing(&t, ClockDomain::GDDR5, 16)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_addr_decode,
-    bench_coalescer,
-    bench_cache,
-    bench_channel,
-    bench_merb
-);
-criterion_main!(benches);
+fn main() {
+    bench_addr_decode();
+    bench_coalescer();
+    bench_cache();
+    bench_channel();
+    bench_merb();
+}

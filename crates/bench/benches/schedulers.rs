@@ -1,8 +1,13 @@
 //! Scheduler benchmarks: per-decision cost of each transaction-scheduling
 //! policy on a loaded queue, and end-to-end simulator throughput per
 //! scheme (one short irregular kernel per iteration).
+//!
+//! The `full_system/*` section doubles as the conformance-layer overhead
+//! measurement: it times the same kernel with the auditor/tracer disabled
+//! (the default), with auditing on, and with audit + trace on, and prints
+//! the relative overhead of each against the disabled baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ldsim_bench::microbench::bench;
 use ldsim_gddr5::MerbTable;
 use ldsim_memctrl::{GroupTracker, Policy, PolicyView};
 use ldsim_system::Simulator;
@@ -44,10 +49,9 @@ fn loaded_policy(kind: SchedulerKind) -> (Box<dyn Policy>, GroupTracker) {
     (policy, groups)
 }
 
-fn bench_policy_decisions(c: &mut Criterion) {
+fn bench_policy_decisions() {
     let mem = MemConfig::default();
     let merb = MerbTable::from_timing(&mem.timing, ClockDomain::GDDR5, 16);
-    let mut group = c.benchmark_group("policy_pick");
     for kind in [
         SchedulerKind::Fcfs,
         SchedulerKind::FrFcfs,
@@ -59,52 +63,68 @@ fn bench_policy_decisions(c: &mut Criterion) {
         SchedulerKind::WgBw,
         SchedulerKind::WgW,
     ] {
-        group.bench_function(kind.name(), |b| {
-            b.iter_batched(
-                || loaded_policy(kind),
-                |(mut policy, groups)| {
-                    let banks = vec![
-                        ldsim_memctrl::BankSnapshot {
-                            headroom: 8,
-                            ..Default::default()
-                        };
-                        16
-                    ];
-                    let view = PolicyView {
-                        now: 1000,
-                        banks: &banks,
-                        groups: &groups,
-                        write_q_len: 0,
-                        write_hi: 32,
-                        wgw_margin: 8,
-                        merb: &merb,
-                    };
-                    // Drain the whole backlog: 64 scheduling decisions.
-                    while let Some(r) = policy.pick(&view) {
-                        black_box(r);
-                    }
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("policy_pick/{}", kind.name()), || {
+            let (mut policy, groups) = loaded_policy(kind);
+            let banks = vec![
+                ldsim_memctrl::BankSnapshot {
+                    headroom: 8,
+                    ..Default::default()
+                };
+                16
+            ];
+            let view = PolicyView {
+                now: 1000,
+                banks: &banks,
+                groups: &groups,
+                write_q_len: 0,
+                write_hi: 32,
+                wgw_margin: 8,
+                merb: &merb,
+            };
+            // Drain the whole backlog: 64 scheduling decisions.
+            let mut drained = 0u32;
+            while let Some(r) = policy.pick(&view) {
+                std::hint::black_box(r);
+                drained += 1;
+            }
+            drained
         });
     }
-    group.finish();
 }
 
-fn bench_full_system(c: &mut Criterion) {
+fn bench_full_system() {
     let kernel = benchmark("bfs", Scale::Tiny, 5).generate();
-    let mut group = c.benchmark_group("full_system_tiny_bfs");
-    group.sample_size(10);
     for kind in [SchedulerKind::Gmc, SchedulerKind::WgW] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let cfg = SimConfig::default().with_scheduler(kind);
-                black_box(Simulator::new(cfg, &kernel).run().cycles)
-            })
+        let base = bench(&format!("full_system_tiny_bfs/{}/off", kind.name()), || {
+            let cfg = SimConfig::default().with_scheduler(kind);
+            Simulator::new(cfg, &kernel).run().cycles
         });
+        let audited = bench(
+            &format!("full_system_tiny_bfs/{}/audit", kind.name()),
+            || {
+                let cfg = SimConfig::default().with_scheduler(kind).with_audit();
+                Simulator::new(cfg, &kernel).run().cycles
+            },
+        );
+        let traced = bench(
+            &format!("full_system_tiny_bfs/{}/audit+trace", kind.name()),
+            || {
+                let cfg = SimConfig::default()
+                    .with_scheduler(kind)
+                    .with_audit()
+                    .with_trace();
+                Simulator::new(cfg, &kernel).run().cycles
+            },
+        );
+        println!(
+            "  conformance overhead vs disabled: audit {:+.1}%, audit+trace {:+.1}%",
+            (audited / base - 1.0) * 100.0,
+            (traced / base - 1.0) * 100.0
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_policy_decisions, bench_full_system);
-criterion_main!(benches);
+fn main() {
+    bench_policy_decisions();
+    bench_full_system();
+}

@@ -35,7 +35,11 @@ fn main() {
         all_ok &= ok;
         t.row(vec![
             name.into(),
-            if name.contains("fraction") { pct(got) } else { f2(got) },
+            if name.contains("fraction") {
+                pct(got)
+            } else {
+                f2(got)
+            },
             f2(paper),
             format!("[{}, {}]", f2(lo), f2(hi)),
             if ok { "yes".into() } else { "NO".into() },

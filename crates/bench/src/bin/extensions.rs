@@ -49,5 +49,8 @@ fn main() {
     ]);
     println!("Extensions — ATLAS-lite (VI-C.3) and WG-S (Section VIII future work)\n");
     t.print();
-    dump_json("extensions", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "extensions",
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

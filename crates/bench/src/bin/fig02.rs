@@ -20,7 +20,11 @@ fn main() {
         let r = run_one(b, scale, seed, SchedulerKind::Gmc);
         dfs.push(r.divergent_frac());
         rpls.push(r.avg_reqs_per_load);
-        t.row(vec![b.to_string(), pct(r.divergent_frac()), f2(r.avg_reqs_per_load)]);
+        t.row(vec![
+            b.to_string(),
+            pct(r.divergent_frac()),
+            f2(r.avg_reqs_per_load),
+        ]);
         results.push(r);
     }
     t.row(vec![

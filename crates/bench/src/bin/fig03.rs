@@ -13,7 +13,13 @@ use ldsim_types::stats::mean;
 
 fn main() {
     let (scale, seed) = cli();
-    let mut t = Table::new(&["benchmark", "last/first", "controllers", "banks", "same-row"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "last/first",
+        "controllers",
+        "banks",
+        "same-row",
+    ]);
     let (mut ratios, mut chans, mut rows) = (Vec::new(), Vec::new(), Vec::new());
     let mut results = Vec::new();
     for b in irregular_names() {

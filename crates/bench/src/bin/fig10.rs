@@ -23,9 +23,7 @@ fn main() {
             sums[i].push(v);
             row.push(f2(v));
         }
-        row.push(f2(
-            cell(&grid, b, PAPER_SCHEDULERS[0]).avg_channels_touched,
-        ));
+        row.push(f2(cell(&grid, b, PAPER_SCHEDULERS[0]).avg_channels_touched));
         t.row(row);
     }
     t.row(vec![

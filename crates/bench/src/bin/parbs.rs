@@ -16,7 +16,13 @@ fn main() {
     let benches = irregular_names();
     let kinds = [SchedulerKind::Gmc, SchedulerKind::ParBs, SchedulerKind::WgW];
     let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "PAR-BS / GMC", "WG-W / PAR-BS", "gap PAR-BS", "gap WG-W"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "PAR-BS / GMC",
+        "WG-W / PAR-BS",
+        "gap PAR-BS",
+        "gap WG-W",
+    ]);
     let (mut pb, mut wg) = (vec![], vec![]);
     for b in &benches {
         let base = cell(&grid, b, SchedulerKind::Gmc).ipc();

@@ -15,7 +15,13 @@ fn main() {
     let benches = irregular_names();
     let kinds = [SchedulerKind::Gmc, SchedulerKind::WgW];
     let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "hit rate GMC", "hit rate WG-W", "power GMC (W)", "power WG-W (W)"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "hit rate GMC",
+        "hit rate WG-W",
+        "power GMC (W)",
+        "power WG-W (W)",
+    ]);
     let (mut h0, mut h1, mut p0, mut p1) = (vec![], vec![], vec![], vec![]);
     for b in &benches {
         let a = cell(&grid, b, SchedulerKind::Gmc);

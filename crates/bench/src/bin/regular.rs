@@ -22,8 +22,15 @@ fn main() {
         xs.push(x);
         t.row(vec![b.to_string(), f3(x), pct(base.bw_utilization)]);
     }
-    t.row(vec!["GMEAN (paper: 1.018)".into(), f3(geomean(&xs)), "-".into()]);
+    t.row(vec![
+        "GMEAN (paper: 1.018)".into(),
+        f3(geomean(&xs)),
+        "-".into(),
+    ]);
     println!("Section VI-A — regular benchmarks: WG-W vs GMC\n");
     t.print();
-    dump_json("regular", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "regular",
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

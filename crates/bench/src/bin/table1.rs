@@ -18,7 +18,11 @@ fn main() {
     for b in 1..=16usize {
         let p = paper[(b - 1).min(5)];
         t.row(vec![
-            if b <= 5 { b.to_string() } else { format!("{b} (6-16)") },
+            if b <= 5 {
+                b.to_string()
+            } else {
+                format!("{b} (6-16)")
+            },
             merb.get(b).to_string(),
             p.to_string(),
         ]);

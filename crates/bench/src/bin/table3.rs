@@ -4,12 +4,23 @@ use ldsim_system::table::Table;
 use ldsim_workloads::{IRREGULAR, REGULAR};
 
 fn main() {
-    let mut t = Table::new(&["benchmark", "suite", "class", "div frac", "clusters", "writes"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "suite",
+        "class",
+        "div frac",
+        "clusters",
+        "writes",
+    ]);
     for p in IRREGULAR.iter().chain(REGULAR.iter()) {
         t.row(vec![
             p.name.into(),
             p.suite.into(),
-            if p.irregular { "irregular".into() } else { "regular".into() },
+            if p.irregular {
+                "irregular".into()
+            } else {
+                "regular".into()
+            },
             format!("{:.2}", p.divergent_frac),
             format!("{:.1}", p.clusters_mean),
             format!("{:.2}", p.write_frac),

@@ -15,7 +15,12 @@ fn main() {
     let benches = irregular_names();
     let kinds = [SchedulerKind::Gmc, SchedulerKind::Wafcfs];
     let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "WAFCFS / GMC", "hit rate GMC", "hit rate WAFCFS"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "WAFCFS / GMC",
+        "hit rate GMC",
+        "hit rate WAFCFS",
+    ]);
     let mut xs = Vec::new();
     for b in &benches {
         let base = cell(&grid, b, SchedulerKind::Gmc);
@@ -36,5 +41,8 @@ fn main() {
     ]);
     println!("Section VI-C.2 — WAFCFS vs GMC\n");
     t.print();
-    dump_json("wafcfs", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "wafcfs",
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

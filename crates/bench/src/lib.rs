@@ -1,19 +1,25 @@
 //! Shared harness code for the experiment binaries (one per paper table /
-//! figure) and the criterion microbenches.
+//! figure) and the microbenches.
 //!
 //! Every binary accepts an optional scale argument (`tiny` / `small` /
-//! `full`, default `small`) and an optional `--seed N`; results print as
-//! text tables (the same rows/series the paper plots) and are also appended
-//! as JSON lines to `results/<figure>.jsonl` for EXPERIMENTS.md provenance.
+//! `full`, default `small`), an optional `--seed N`, and the `--audit` /
+//! `--trace` switches (which arm the DRAM protocol conformance auditor and
+//! the event-trace recorder for every run the binary performs); results
+//! print as text tables (the same rows/series the paper plots) and are also
+//! appended as JSON lines to `results/<figure>.jsonl` for EXPERIMENTS.md
+//! provenance.
 
-use ldsim_system::RunResult;
+use ldsim_system::{RunOpts, RunResult};
 use ldsim_workloads::Scale;
 use std::io::Write;
 
-/// Parse `[tiny|small|full]` and `--seed N` from argv.
+/// Parse `[tiny|small|full]`, `--seed N`, `--audit`, and `--trace` from
+/// argv. The audit/trace switches are applied process-wide via
+/// [`ldsim_system::set_run_opts`] before returning.
 pub fn cli() -> (Scale, u64) {
     let mut scale = Scale::Small;
     let mut seed = 1u64;
+    let mut opts = RunOpts::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -28,10 +34,15 @@ pub fn cli() -> (Scale, u64) {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a number");
             }
-            other => panic!("unknown argument '{other}' (expected tiny|small|full|--seed N)"),
+            "--audit" => opts.audit = true,
+            "--trace" => opts.trace = true,
+            other => panic!(
+                "unknown argument '{other}' (expected tiny|small|full|--seed N|--audit|--trace)"
+            ),
         }
         i += 1;
     }
+    ldsim_system::set_run_opts(opts);
     (scale, seed)
 }
 
@@ -42,13 +53,44 @@ pub fn dump_json(figure: &str, results: &[&RunResult]) {
         return;
     }
     let path = dir.join(format!("{figure}.jsonl"));
-    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
         return;
     };
     for r in results {
-        if let Ok(line) = serde_json::to_string(r) {
-            let _ = writeln!(f, "{line}");
+        let _ = writeln!(f, "{}", r.to_json());
+    }
+}
+
+/// A dependency-free micro-benchmark harness for the `benches/` targets
+/// (run with `cargo bench`): warm up, calibrate the iteration count to a
+/// fixed wall-clock budget, then report ns/iter.
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Seconds of measured work per benchmark.
+    const BUDGET: f64 = 0.25;
+
+    /// Time `f`, print a `name  iters  ns/iter` line, and return ns/iter.
+    pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+        for _ in 0..3 {
+            black_box(f());
         }
+        let t0 = Instant::now();
+        black_box(f());
+        let per = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((BUDGET / per).ceil() as u64).clamp(5, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_secs_f64() / iters as f64 * 1e9;
+        println!("{name:<44} {iters:>9} iters {ns:>14.1} ns/iter");
+        ns
     }
 }
 

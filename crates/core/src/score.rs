@@ -72,8 +72,8 @@ pub fn group_score(reqs: &[MemRequest], view: &PolicyView<'_>, scratch: &mut [u3
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldsim_memctrl::{BankSnapshot, GroupTracker};
     use ldsim_gddr5::MerbTable;
+    use ldsim_memctrl::{BankSnapshot, GroupTracker};
     use ldsim_types::addr::DecodedAddr;
     use ldsim_types::clock::ClockDomain;
     use ldsim_types::config::TimingParams;
@@ -183,7 +183,12 @@ mod tests {
         let mut scratch = vec![0u32; 16];
         let a = group_score(&one_miss_busy, &f.view(), &mut scratch);
         let b = group_score(&four_hits_idle, &f.view(), &mut scratch);
-        assert!(b.better_than(&a), "4 hits ({}) vs 1 busy miss ({})", b.score, a.score);
+        assert!(
+            b.better_than(&a),
+            "4 hits ({}) vs 1 busy miss ({})",
+            b.score,
+            a.score
+        );
     }
 
     #[test]

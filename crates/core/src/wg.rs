@@ -928,7 +928,11 @@ mod tests {
         f.feed(&mut q, r);
         Policy::on_shared(&mut q, gb);
         let v = f.view();
-        assert_eq!(q.pick(&v).unwrap().wg, ga, "WG ignores sharing (oldest wins)");
+        assert_eq!(
+            q.pick(&v).unwrap().wg,
+            ga,
+            "WG ignores sharing (oldest wins)"
+        );
     }
 
     #[test]

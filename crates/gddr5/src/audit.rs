@@ -1,0 +1,663 @@
+//! Always-on DRAM protocol conformance auditor.
+//!
+//! [`TimingAuditor`] is an *independent observer*: it receives every DRAM
+//! command the channel issues (ACT / PRE / RD / WR / REFab, plus the
+//! zero-divergence model's bus-only fast reads) together with the issue
+//! cycle, and re-validates every GDDR5 timing constraint from its own state
+//! machine. Unlike the `debug_assert!`s inside [`crate::channel::Channel`]
+//! and [`crate::bank::Bank`] — which vanish in the release builds that
+//! produce EXPERIMENTS.md — the auditor works in every build profile, so a
+//! scheduler bug that issues an illegal command can never silently inflate
+//! the reported IPC.
+//!
+//! The auditor is deliberately written *differently* from the channel: the
+//! channel pre-computes per-bank ready times when a command is applied; the
+//! auditor keeps raw last-command timestamps and derives each legality
+//! window on the fly from [`TimingCycles`]. A bookkeeping bug in one is
+//! therefore very unlikely to be mirrored in the other.
+//!
+//! Checked rules:
+//!
+//! | rule        | constraint                                                      |
+//! |-------------|-----------------------------------------------------------------|
+//! | `BankOpen` / `BankClosed` | ACT only to a closed bank; PRE/RD/WR only to an open one |
+//! | `TRc`       | ACT→ACT, same bank                                              |
+//! | `TRp`       | PRE→ACT, same bank                                              |
+//! | `TRas`      | ACT→PRE, same bank                                              |
+//! | `TRtp`      | RD→PRE, same bank                                               |
+//! | `TWr`       | write-data-end→PRE, same bank (write recovery)                  |
+//! | `TRcd`      | ACT→RD/WR, same bank                                            |
+//! | `TRrd`      | ACT→ACT, any two banks                                          |
+//! | `TFaw`      | at most 4 ACTs per rolling tFAW window                          |
+//! | `TCcdL`/`TCcdS` | column→column spacing, same / different bank group          |
+//! | `TWtr`      | write-data-end→RD command (turnaround)                          |
+//! | `TRtw`      | read-data-end + tRTRS → write burst start (bus turnaround)      |
+//! | `BusOverlap`| a data burst may not begin before the previous one ends         |
+//! | `TRfc`      | no command during the all-bank refresh blackout                 |
+//! | `RefBankOpen` / `RefTRp` | REFab needs every bank precharged and settled      |
+
+use ldsim_types::clock::Cycle;
+use ldsim_types::config::{MemConfig, TimingCycles};
+
+/// The kind of an observed DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    Act,
+    Pre,
+    Read,
+    Write,
+    /// All-bank refresh.
+    RefAb,
+    /// Zero-divergence ideal bus-only read (bypasses bank timing by design;
+    /// only bus occupancy is audited).
+    FastRead,
+}
+
+impl CmdKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CmdKind::Act => "ACT",
+            CmdKind::Pre => "PRE",
+            CmdKind::Read => "RD",
+            CmdKind::Write => "WR",
+            CmdKind::RefAb => "REF",
+            CmdKind::FastRead => "FRD",
+        }
+    }
+}
+
+/// One observed command, as the channel reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdEvent {
+    pub cycle: Cycle,
+    pub kind: CmdKind,
+    /// Bank index (unused for REFab / FastRead).
+    pub bank: u8,
+    /// Row (ACT only; 0 otherwise).
+    pub row: u32,
+}
+
+/// A timing rule the auditor can flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    BankOpen,
+    BankClosed,
+    TRc,
+    TRp,
+    TRas,
+    TRtp,
+    TWr,
+    TRcd,
+    TRrd,
+    TFaw,
+    TCcdL,
+    TCcdS,
+    TWtr,
+    TRtw,
+    BusOverlap,
+    TRfc,
+    RefBankOpen,
+    RefTRp,
+}
+
+impl Rule {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::BankOpen => "bank-open",
+            Rule::BankClosed => "bank-closed",
+            Rule::TRc => "tRC",
+            Rule::TRp => "tRP",
+            Rule::TRas => "tRAS",
+            Rule::TRtp => "tRTP",
+            Rule::TWr => "tWR",
+            Rule::TRcd => "tRCD",
+            Rule::TRrd => "tRRD",
+            Rule::TFaw => "tFAW",
+            Rule::TCcdL => "tCCDL",
+            Rule::TCcdS => "tCCDS",
+            Rule::TWtr => "tWTR",
+            Rule::TRtw => "tRTW",
+            Rule::BusOverlap => "bus-overlap",
+            Rule::TRfc => "tRFC",
+            Rule::RefBankOpen => "ref-bank-open",
+            Rule::RefTRp => "ref-tRP",
+        }
+    }
+}
+
+/// One recorded protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    pub cmd: CmdKind,
+    pub bank: u8,
+    pub cycle: Cycle,
+    /// Earliest cycle at which the command would have been legal under the
+    /// violated rule (best-effort; 0 for state violations like BankOpen).
+    pub earliest_legal: Cycle,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ cycle {} on bank {} violates {} (earliest legal: {})",
+            self.cmd.name(),
+            self.cycle,
+            self.bank,
+            self.rule.name(),
+            self.earliest_legal
+        )
+    }
+}
+
+/// Per-bank shadow state: raw timestamps, not derived ready-times.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankShadow {
+    open_row: Option<u32>,
+    /// Cycle of the last ACT (None before the first).
+    last_act: Option<Cycle>,
+    last_pre: Option<Cycle>,
+    last_rd: Option<Cycle>,
+    /// End cycle of the last write's data burst on this bank.
+    last_wr_data_end: Option<Cycle>,
+}
+
+/// How many violations are kept verbatim (all are *counted*).
+pub const MAX_STORED_VIOLATIONS: usize = 64;
+
+/// The independent protocol conformance checker.
+#[derive(Debug, Clone)]
+pub struct TimingAuditor {
+    t: TimingCycles,
+    banks_per_group: usize,
+    /// Data bursts per column access.
+    bursts: Cycle,
+    banks: Vec<BankShadow>,
+    /// Cycles of recent ACTs to any bank (for tRRD / tFAW), newest last.
+    acts: Vec<Cycle>,
+    /// Most recent column command: (cycle, bank group).
+    last_col: Option<(Cycle, u8)>,
+    /// End of the most recent data burst on the shared bus.
+    bus_end: Cycle,
+    /// End of the most recent *read* data burst (read→write turnaround).
+    read_data_end: Cycle,
+    /// End of the most recent *write* data burst (tWTR).
+    write_data_end: Cycle,
+    /// End of the current refresh blackout (0 when none).
+    ref_end: Cycle,
+    observed: u64,
+    violation_count: u64,
+    violations: Vec<Violation>,
+}
+
+impl TimingAuditor {
+    pub fn new(mem: &MemConfig, t: TimingCycles) -> Self {
+        Self::from_parts(
+            mem.banks_per_channel,
+            mem.banks_per_group,
+            mem.bursts_per_access,
+            t,
+        )
+    }
+
+    /// Construct from raw geometry (lets the channel attach an auditor
+    /// without holding on to the full [`MemConfig`]).
+    pub fn from_parts(
+        banks_per_channel: usize,
+        banks_per_group: usize,
+        bursts_per_access: u64,
+        t: TimingCycles,
+    ) -> Self {
+        Self {
+            t,
+            banks_per_group,
+            bursts: bursts_per_access.max(1),
+            banks: vec![BankShadow::default(); banks_per_channel],
+            acts: Vec::with_capacity(8),
+            last_col: None,
+            bus_end: 0,
+            read_data_end: 0,
+            write_data_end: 0,
+            ref_end: 0,
+            observed: 0,
+            violation_count: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Total commands observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Total violations detected (including ones not stored verbatim).
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// The first [`MAX_STORED_VIOLATIONS`] violations, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    fn flag(&mut self, rule: Rule, ev: &CmdEvent, earliest_legal: Cycle) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_STORED_VIOLATIONS {
+            self.violations.push(Violation {
+                rule,
+                cmd: ev.kind,
+                bank: ev.bank,
+                cycle: ev.cycle,
+                earliest_legal,
+            });
+        }
+    }
+
+    /// Check that a timestamped lower bound holds: `now >= base + gap`.
+    fn require_gap(&mut self, rule: Rule, ev: &CmdEvent, base: Option<Cycle>, gap: Cycle) {
+        if let Some(b) = base {
+            let earliest = b + gap;
+            if ev.cycle < earliest {
+                self.flag(rule, ev, earliest);
+            }
+        }
+    }
+
+    #[inline]
+    fn group_of(&self, bank: u8) -> u8 {
+        (bank as usize / self.banks_per_group) as u8
+    }
+
+    fn check_column_spacing(&mut self, ev: &CmdEvent) {
+        if let Some((cyc, grp)) = self.last_col {
+            let (gap, rule) = if grp == self.group_of(ev.bank) {
+                (self.t.t_ccdl, Rule::TCcdL)
+            } else {
+                (self.t.t_ccds, Rule::TCcdS)
+            };
+            if ev.cycle < cyc + gap {
+                self.flag(rule, ev, cyc + gap);
+            }
+        }
+    }
+
+    /// Data-bus occupancy: a burst starting at `start` must not begin
+    /// before the previous burst ends.
+    fn check_bus(&mut self, ev: &CmdEvent, start: Cycle) {
+        if start < self.bus_end {
+            // Earliest legal command cycle keeps the same command→data offset.
+            let cmd_offset = start - ev.cycle;
+            self.flag(Rule::BusOverlap, ev, self.bus_end - cmd_offset);
+        }
+    }
+
+    fn check_refresh_blackout(&mut self, ev: &CmdEvent) {
+        if ev.cycle < self.ref_end {
+            self.flag(Rule::TRfc, ev, self.ref_end);
+        }
+    }
+
+    /// Observe one issued command and validate it against every rule.
+    pub fn observe(&mut self, ev: &CmdEvent) {
+        self.observed += 1;
+        match ev.kind {
+            CmdKind::Act => self.observe_act(ev),
+            CmdKind::Pre => self.observe_pre(ev),
+            CmdKind::Read => self.observe_read(ev),
+            CmdKind::Write => self.observe_write(ev),
+            CmdKind::RefAb => self.observe_refresh(ev),
+            CmdKind::FastRead => self.observe_fast_read(ev),
+        }
+    }
+
+    fn observe_act(&mut self, ev: &CmdEvent) {
+        self.check_refresh_blackout(ev);
+        let b = ev.bank as usize;
+        if self.banks[b].open_row.is_some() {
+            self.flag(Rule::BankClosed, ev, 0);
+        }
+        let (last_act, last_pre) = (self.banks[b].last_act, self.banks[b].last_pre);
+        self.require_gap(Rule::TRc, ev, last_act, self.t.t_rc);
+        self.require_gap(Rule::TRp, ev, last_pre, self.t.t_rp);
+        // tRRD against the most recent ACT to any bank.
+        let newest = self.acts.last().copied();
+        self.require_gap(Rule::TRrd, ev, newest, self.t.t_rrd);
+        // tFAW: the 4th-most-recent ACT must be at least tFAW back.
+        if self.acts.len() >= 4 {
+            let fourth = self.acts[self.acts.len() - 4];
+            if ev.cycle < fourth + self.t.t_faw {
+                self.flag(Rule::TFaw, ev, fourth + self.t.t_faw);
+            }
+        }
+        // Apply.
+        self.banks[b].open_row = Some(ev.row);
+        self.banks[b].last_act = Some(ev.cycle);
+        self.banks[b].last_rd = None;
+        self.banks[b].last_wr_data_end = None;
+        self.acts.push(ev.cycle);
+        if self.acts.len() > 4 {
+            self.acts.remove(0);
+        }
+    }
+
+    fn observe_pre(&mut self, ev: &CmdEvent) {
+        self.check_refresh_blackout(ev);
+        let b = ev.bank as usize;
+        if self.banks[b].open_row.is_none() {
+            self.flag(Rule::BankOpen, ev, 0);
+        }
+        let (last_act, last_rd, last_wr_end) = (
+            self.banks[b].last_act,
+            self.banks[b].last_rd,
+            self.banks[b].last_wr_data_end,
+        );
+        self.require_gap(Rule::TRas, ev, last_act, self.t.t_ras);
+        self.require_gap(Rule::TRtp, ev, last_rd, self.t.t_rtp);
+        // Write recovery counts from the end of the write data burst.
+        self.require_gap(Rule::TWr, ev, last_wr_end, self.t.t_wr);
+        self.banks[b].open_row = None;
+        self.banks[b].last_pre = Some(ev.cycle);
+    }
+
+    fn observe_read(&mut self, ev: &CmdEvent) {
+        self.check_refresh_blackout(ev);
+        let b = ev.bank as usize;
+        if self.banks[b].open_row.is_none() {
+            self.flag(Rule::BankOpen, ev, 0);
+        }
+        let last_act = self.banks[b].last_act;
+        self.require_gap(Rule::TRcd, ev, last_act, self.t.t_rcd);
+        self.check_column_spacing(ev);
+        // tWTR: read command after the last write data burst ends.
+        if self.write_data_end > 0 && ev.cycle < self.write_data_end + self.t.t_wtr {
+            self.flag(Rule::TWtr, ev, self.write_data_end + self.t.t_wtr);
+        }
+        let start = ev.cycle + self.t.t_cas;
+        self.check_bus(ev, start);
+        // Apply.
+        let end = start + self.t.t_burst * self.bursts;
+        self.bus_end = self.bus_end.max(end);
+        self.read_data_end = self.read_data_end.max(end);
+        self.last_col = Some((ev.cycle, self.group_of(ev.bank)));
+        self.banks[b].last_rd = Some(ev.cycle);
+    }
+
+    fn observe_write(&mut self, ev: &CmdEvent) {
+        self.check_refresh_blackout(ev);
+        let b = ev.bank as usize;
+        if self.banks[b].open_row.is_none() {
+            self.flag(Rule::BankOpen, ev, 0);
+        }
+        let last_act = self.banks[b].last_act;
+        self.require_gap(Rule::TRcd, ev, last_act, self.t.t_rcd);
+        self.check_column_spacing(ev);
+        let start = ev.cycle + self.t.t_wl;
+        // Read→write turnaround: the write burst must trail the last read
+        // burst by tRTRS.
+        if self.read_data_end > 0 && start < self.read_data_end + self.t.t_rtrs {
+            let cmd_offset = self.t.t_wl;
+            self.flag(
+                Rule::TRtw,
+                ev,
+                (self.read_data_end + self.t.t_rtrs).saturating_sub(cmd_offset),
+            );
+        }
+        self.check_bus(ev, start);
+        // Apply.
+        let end = start + self.t.t_burst * self.bursts;
+        self.bus_end = self.bus_end.max(end);
+        self.write_data_end = self.write_data_end.max(end);
+        self.last_col = Some((ev.cycle, self.group_of(ev.bank)));
+        self.banks[b].last_wr_data_end = Some(end);
+    }
+
+    fn observe_refresh(&mut self, ev: &CmdEvent) {
+        self.check_refresh_blackout(ev);
+        for b in 0..self.banks.len() {
+            if self.banks[b].open_row.is_some() {
+                let e = CmdEvent {
+                    bank: b as u8,
+                    ..*ev
+                };
+                self.flag(Rule::RefBankOpen, &e, 0);
+            } else if let Some(pre) = self.banks[b].last_pre {
+                if ev.cycle < pre + self.t.t_rp {
+                    let e = CmdEvent {
+                        bank: b as u8,
+                        ..*ev
+                    };
+                    self.flag(Rule::RefTRp, &e, pre + self.t.t_rp);
+                }
+            }
+        }
+        self.ref_end = ev.cycle + self.t.t_rfc;
+    }
+
+    /// Fast reads bypass bank timing *by design* (Fig. 4's ideal model
+    /// still pays bus bandwidth), so only bus occupancy is audited.
+    fn observe_fast_read(&mut self, ev: &CmdEvent) {
+        let start = ev.cycle + self.t.t_cas;
+        self.check_bus(ev, start);
+        let end = start + self.t.t_burst * self.bursts;
+        self.bus_end = self.bus_end.max(end);
+        self.read_data_end = self.read_data_end.max(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldsim_types::clock::ClockDomain;
+    use ldsim_types::config::TimingParams;
+
+    fn auditor() -> (TimingAuditor, TimingCycles) {
+        let mem = MemConfig {
+            bursts_per_access: 1,
+            ..MemConfig::default()
+        };
+        let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+        (TimingAuditor::new(&mem, t), t)
+    }
+
+    fn ev(kind: CmdKind, bank: u8, row: u32, cycle: Cycle) -> CmdEvent {
+        CmdEvent {
+            cycle,
+            kind,
+            bank,
+            row,
+        }
+    }
+
+    #[test]
+    fn legal_open_read_close_sequence_is_clean() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 5, 0));
+        a.observe(&ev(CmdKind::Read, 0, 0, t.t_rcd));
+        a.observe(&ev(CmdKind::Read, 0, 0, t.t_rcd + t.t_ccdl));
+        a.observe(&ev(CmdKind::Pre, 0, 0, t.t_ras + t.t_rtp + 100));
+        a.observe(&ev(CmdKind::Act, 0, 6, t.t_rc + t.t_rp + t.t_ras + 200));
+        assert!(a.is_clean(), "{:?}", a.violations());
+        assert_eq!(a.observed(), 5);
+    }
+
+    #[test]
+    fn premature_read_fires_trcd() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 5, 0));
+        a.observe(&ev(CmdKind::Read, 0, 0, t.t_rcd - 1));
+        assert_eq!(a.violation_count(), 1);
+        let v = a.violations()[0];
+        assert_eq!(v.rule, Rule::TRcd);
+        assert_eq!(v.earliest_legal, t.t_rcd);
+    }
+
+    #[test]
+    fn act_to_open_bank_fires() {
+        let (mut a, _t) = auditor();
+        a.observe(&ev(CmdKind::Act, 3, 5, 0));
+        a.observe(&ev(CmdKind::Act, 3, 6, 10_000));
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::BankClosed && v.bank == 3));
+    }
+
+    #[test]
+    fn trrd_and_tfaw_fire() {
+        // With Table II numbers 4*tRRD (36) already exceeds tFAW (35), so —
+        // like the channel's own tFAW test — widen tFAW to make the
+        // four-activate window clearly binding.
+        let mem = MemConfig {
+            bursts_per_access: 1,
+            ..MemConfig::default()
+        };
+        let tp = TimingParams {
+            t_faw_ns: 60.0, // 90 cycles
+            ..TimingParams::default()
+        };
+        let t = tp.in_cycles(ClockDomain::GDDR5);
+        let mut a = TimingAuditor::new(&mem, t);
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Act, 1, 1, t.t_rrd - 1)); // tRRD violation
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TRrd));
+        let n = a.violation_count();
+        // Space the next two legally, then the 5th ACT inside the tFAW
+        // window of the first.
+        a.observe(&ev(CmdKind::Act, 2, 1, 2 * t.t_rrd));
+        a.observe(&ev(CmdKind::Act, 3, 1, 3 * t.t_rrd));
+        assert!(4 * t.t_rrd < t.t_faw, "test assumes tFAW binds");
+        a.observe(&ev(CmdKind::Act, 4, 1, 4 * t.t_rrd));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TFaw));
+        assert!(a.violation_count() > n);
+    }
+
+    #[test]
+    fn premature_precharge_fires_tras() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Pre, 0, 0, t.t_ras - 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TRas));
+    }
+
+    #[test]
+    fn write_recovery_fires_twr() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        // Write late enough that write recovery (not tRAS) is the binding
+        // constraint on the precharge.
+        let wr = t.t_ras;
+        a.observe(&ev(CmdKind::Write, 0, 0, wr));
+        let data_end = wr + t.t_wl + t.t_burst;
+        a.observe(&ev(CmdKind::Pre, 0, 0, data_end + t.t_wr - 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TWr));
+    }
+
+    #[test]
+    fn wtr_turnaround_fires() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Act, 4, 1, t.t_rrd.max(t.t_rcd)));
+        let wr = t.t_rcd + t.t_rrd;
+        a.observe(&ev(CmdKind::Write, 0, 0, wr));
+        let wr_end = wr + t.t_wl + t.t_burst;
+        a.observe(&ev(CmdKind::Read, 4, 0, wr_end + t.t_wtr - 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TWtr));
+    }
+
+    #[test]
+    fn bank_group_spacing_fires_ccdl_not_ccds() {
+        // Cross-group reads at tCCDS spacing: legal.
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Act, 4, 1, t.t_rrd));
+        let rd = t.t_rrd + t.t_rcd;
+        a.observe(&ev(CmdKind::Read, 0, 0, rd));
+        a.observe(&ev(CmdKind::Read, 4, 0, rd + t.t_ccds.max(t.t_burst)));
+        assert!(a.is_clean(), "{:?}", a.violations());
+        // Same-group reads at only tCCDS spacing: tCCDL (3 > 2) fires.
+        let (mut b, t) = auditor();
+        b.observe(&ev(CmdKind::Act, 0, 1, 0));
+        b.observe(&ev(CmdKind::Act, 1, 1, t.t_rrd));
+        let rd = t.t_rrd + t.t_rcd;
+        b.observe(&ev(CmdKind::Read, 0, 0, rd));
+        b.observe(&ev(CmdKind::Read, 1, 0, rd + t.t_ccds));
+        assert!(
+            b.violations().iter().any(|v| v.rule == Rule::TCcdL),
+            "{:?}",
+            b.violations()
+        );
+    }
+
+    #[test]
+    fn bus_overlap_fires() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Act, 4, 1, t.t_rrd));
+        let rd = t.t_rrd + t.t_rcd;
+        a.observe(&ev(CmdKind::Read, 0, 0, rd));
+        // Second read on another group, past tCCDS but with a burst that
+        // starts before the first one ends (single-burst channel: burst is
+        // tBURST=2 cycles; tCCDS=2 is exactly bus-legal, so go 1 earlier
+        // by... issuing at rd+1 < rd+tCCDS would also trip tCCDS. Use a
+        // fast read instead, which has no column spacing.)
+        a.observe(&ev(CmdKind::FastRead, 0, 0, rd + 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::BusOverlap));
+    }
+
+    #[test]
+    fn refresh_blackout_fires_trfc() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::RefAb, 0, 0, 100));
+        assert!(a.is_clean());
+        a.observe(&ev(CmdKind::Act, 0, 1, 100 + t.t_rfc - 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::TRfc));
+        let (mut b, t) = auditor();
+        b.observe(&ev(CmdKind::RefAb, 0, 0, 100));
+        b.observe(&ev(CmdKind::Act, 0, 1, 100 + t.t_rfc));
+        assert!(b.is_clean());
+    }
+
+    #[test]
+    fn refresh_with_open_bank_fires() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 2, 1, 0));
+        a.observe(&ev(CmdKind::RefAb, 0, 0, t.t_ras + 50));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::RefBankOpen));
+    }
+
+    #[test]
+    fn refresh_too_soon_after_pre_fires() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 1, 0));
+        a.observe(&ev(CmdKind::Pre, 0, 0, t.t_ras));
+        a.observe(&ev(CmdKind::RefAb, 0, 0, t.t_ras + t.t_rp - 1));
+        assert!(a.violations().iter().any(|v| v.rule == Rule::RefTRp));
+    }
+
+    #[test]
+    fn violation_storage_caps_but_count_continues() {
+        let (mut a, _t) = auditor();
+        for i in 0..(MAX_STORED_VIOLATIONS as u64 + 40) {
+            // Endless PREs to a closed bank: every one is a violation.
+            a.observe(&ev(CmdKind::Pre, 0, 0, i * 1000));
+        }
+        assert_eq!(a.violations().len(), MAX_STORED_VIOLATIONS);
+        assert_eq!(a.violation_count(), MAX_STORED_VIOLATIONS as u64 + 40);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let (mut a, t) = auditor();
+        a.observe(&ev(CmdKind::Act, 0, 5, 0));
+        a.observe(&ev(CmdKind::Read, 0, 0, 1));
+        let s = a.violations()[0].to_string();
+        assert!(s.contains("RD"), "{s}");
+        assert!(s.contains("tRCD"), "{s}");
+        assert!(s.contains(&format!("{}", t.t_rcd)), "{s}");
+    }
+}

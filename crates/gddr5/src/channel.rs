@@ -14,22 +14,33 @@
 //! * **read→write turnaround** — a write burst may not chase a read burst
 //!   closer than tRTRS on the bus.
 
+use crate::audit::{CmdEvent, CmdKind, TimingAuditor, Violation};
 use crate::bank::Bank;
 use ldsim_types::clock::Cycle;
 use ldsim_types::config::{MemConfig, TimingCycles};
 use ldsim_types::ids::BankId;
-use serde::{Deserialize, Serialize};
 
 /// A DRAM command, as placed in per-bank command queues by the transaction
 /// scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Command {
-    Act { bank: BankId, row: u32 },
-    Pre { bank: BankId },
+    Act {
+        bank: BankId,
+        row: u32,
+    },
+    Pre {
+        bank: BankId,
+    },
     /// Column read; `req` is an opaque tag the controller uses to route the
     /// completion back to the originating request.
-    Read { bank: BankId, req: u64 },
-    Write { bank: BankId, req: u64 },
+    Read {
+        bank: BankId,
+        req: u64,
+    },
+    Write {
+        bank: BankId,
+        req: u64,
+    },
 }
 
 impl Command {
@@ -45,7 +56,7 @@ impl Command {
 
 /// Counters the channel maintains; the source of Fig. 11 (bandwidth
 /// utilisation) and the Section VI-B power inputs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChannelStats {
     pub acts: u64,
     pub pres: u64,
@@ -113,6 +124,10 @@ pub struct Channel {
     /// Next cycle an all-bank refresh falls due (tREFI cadence).
     next_refresh: Cycle,
     pub stats: ChannelStats,
+    /// Independent protocol conformance checker (None = zero cost).
+    auditor: Option<Box<TimingAuditor>>,
+    /// Structured command log for the event tracer (None = zero cost).
+    cmd_log: Option<Vec<CmdEvent>>,
 }
 
 impl Channel {
@@ -131,6 +146,70 @@ impl Channel {
             last_col: None,
             next_refresh: t.t_refi,
             stats: ChannelStats::default(),
+            auditor: None,
+            cmd_log: None,
+        }
+    }
+
+    /// Attach the independent [`TimingAuditor`]: every subsequently issued
+    /// command is re-validated by a second state machine (release builds
+    /// included — the channel's own checks are `debug_assert!`s).
+    pub fn enable_audit(&mut self) {
+        self.auditor = Some(Box::new(TimingAuditor::from_parts(
+            self.banks.len(),
+            self.banks_per_group,
+            self.bursts,
+            self.t,
+        )));
+    }
+
+    /// Start recording every issued command into a structured log.
+    pub fn enable_cmd_log(&mut self) {
+        self.cmd_log = Some(Vec::new());
+    }
+
+    /// Violations the auditor has flagged so far (None if auditing is off).
+    pub fn audit_violations(&self) -> Option<&[Violation]> {
+        self.auditor.as_deref().map(|a| a.violations())
+    }
+
+    /// Total violation count (0 if auditing is off).
+    pub fn audit_violation_count(&self) -> u64 {
+        self.auditor.as_deref().map_or(0, |a| a.violation_count())
+    }
+
+    /// Commands the auditor has observed (0 if auditing is off).
+    pub fn audit_observed(&self) -> u64 {
+        self.auditor.as_deref().map_or(0, |a| a.observed())
+    }
+
+    /// Take the recorded command log (empty if logging is off). Logging
+    /// continues; only the accumulated events are moved out.
+    pub fn take_cmd_log(&mut self) -> Vec<CmdEvent> {
+        self.cmd_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Feed one command to the auditor and/or log. The `Option` dance keeps
+    /// the disabled path to two branch-on-None tests.
+    #[inline]
+    fn observe(&mut self, kind: CmdKind, bank: u8, row: u32, cycle: Cycle) {
+        if self.auditor.is_none() && self.cmd_log.is_none() {
+            return;
+        }
+        let ev = CmdEvent {
+            cycle,
+            kind,
+            bank,
+            row,
+        };
+        if let Some(a) = self.auditor.as_deref_mut() {
+            a.observe(&ev);
+        }
+        if let Some(log) = self.cmd_log.as_mut() {
+            log.push(ev);
         }
     }
 
@@ -237,6 +316,7 @@ impl Channel {
     /// Issue an ACT. Caller must have checked [`Self::can_act`].
     pub fn issue_act(&mut self, bank: BankId, row: u32, now: Cycle) {
         debug_assert!(self.can_act(bank, now));
+        self.observe(CmdKind::Act, bank.0, row, now);
         self.banks[bank.0 as usize].do_act(now, row, &self.t);
         self.last_act = Some(now);
         if self.act_window_len == 4 {
@@ -253,6 +333,7 @@ impl Channel {
     /// Issue a PRE. Caller must have checked [`Self::can_pre`].
     pub fn issue_pre(&mut self, bank: BankId, now: Cycle) {
         debug_assert!(self.can_pre(bank, now));
+        self.observe(CmdKind::Pre, bank.0, 0, now);
         self.banks[bank.0 as usize].do_pre(now, &self.t);
         self.stats.pres += 1;
     }
@@ -262,6 +343,7 @@ impl Channel {
     /// [`Self::can_read`].
     pub fn issue_read(&mut self, bank: BankId, now: Cycle) -> Cycle {
         debug_assert!(self.can_read(bank, now));
+        self.observe(CmdKind::Read, bank.0, 0, now);
         self.banks[bank.0 as usize].do_read(now, &self.t, self.bursts as u8);
         let data_start = now + self.t.t_cas;
         let data_end = data_start + self.t.t_burst * self.bursts;
@@ -277,6 +359,7 @@ impl Channel {
     /// Caller must have checked [`Self::can_write`].
     pub fn issue_write(&mut self, bank: BankId, now: Cycle) -> Cycle {
         debug_assert!(self.can_write(bank, now));
+        self.observe(CmdKind::Write, bank.0, 0, now);
         self.banks[bank.0 as usize].do_write(now, &self.t, self.bursts as u8);
         let data_start = now + self.t.t_wl;
         let data_end = data_start + self.t.t_burst * self.bursts;
@@ -313,12 +396,15 @@ impl Channel {
     /// Can REFab issue now? Requires every bank precharged and past its
     /// activate-ready point (tRP from the closing precharges).
     pub fn can_refresh(&self, now: Cycle) -> bool {
-        self.banks.iter().all(|b| !b.is_open() && now >= b.act_ready)
+        self.banks
+            .iter()
+            .all(|b| !b.is_open() && now >= b.act_ready)
     }
 
     /// Issue an all-bank refresh: every bank is unavailable for tRFC.
     pub fn issue_refresh(&mut self, now: Cycle) {
         debug_assert!(self.can_refresh(now));
+        self.observe(CmdKind::RefAb, 0, 0, now);
         for b in &mut self.banks {
             b.act_ready = b.act_ready.max(now + self.t.t_rfc);
         }
@@ -340,6 +426,7 @@ impl Channel {
         if now + self.t.t_cas < self.bus_free {
             return None;
         }
+        self.observe(CmdKind::FastRead, 0, 0, now);
         let data_start = now + self.t.t_cas;
         let data_end = data_start + self.t.t_burst * self.bursts;
         self.bus_free = data_end;
@@ -596,10 +683,16 @@ mod tests {
     fn command_dispatch_via_can_issue_and_issue() {
         let mut c = ch();
         let t = *c.timing();
-        let act = Command::Act { bank: BankId(3), row: 9 };
+        let act = Command::Act {
+            bank: BankId(3),
+            row: 9,
+        };
         assert!(c.can_issue(&act, 0));
         assert_eq!(c.issue(&act, 0), None);
-        let rd = Command::Read { bank: BankId(3), req: 42 };
+        let rd = Command::Read {
+            bank: BankId(3),
+            req: 42,
+        };
         assert!(!c.can_issue(&rd, 1));
         assert!(c.can_issue(&rd, t.t_rcd));
         let done = c.issue(&rd, t.t_rcd);
@@ -635,5 +728,59 @@ mod tests {
         assert_eq!(c.open_banks(), 0);
         c.issue_act(BankId(3), 5, 0);
         assert_eq!(c.open_banks(), 1);
+    }
+
+    #[test]
+    fn auditor_sees_every_issued_command_and_stays_clean() {
+        let mut c = ch2();
+        c.enable_audit();
+        c.enable_cmd_log();
+        let t = *c.timing();
+        // A legal mixed sequence driven through the channel's own gates.
+        let mut now = 0;
+        while !c.can_act(BankId(0), now) {
+            now += 1;
+        }
+        c.issue_act(BankId(0), 7, now);
+        let mut rd = now + t.t_rcd;
+        while !c.can_read(BankId(0), rd) {
+            rd += 1;
+        }
+        c.issue_read(BankId(0), rd);
+        let mut wr = rd + 1;
+        while !c.can_write(BankId(0), wr) {
+            wr += 1;
+        }
+        c.issue_write(BankId(0), wr);
+        let mut pre = wr + 1;
+        while !c.can_pre(BankId(0), pre) {
+            pre += 1;
+        }
+        c.issue_pre(BankId(0), pre);
+        let mut refr = pre + 1;
+        while !c.can_refresh(refr) {
+            refr += 1;
+        }
+        c.issue_refresh(refr);
+        assert_eq!(c.audit_observed(), 5);
+        assert_eq!(c.audit_violation_count(), 0);
+        assert_eq!(c.audit_violations().unwrap().len(), 0);
+        let log = c.take_cmd_log();
+        assert_eq!(log.len(), 5);
+        assert_eq!(log[0].kind, crate::audit::CmdKind::Act);
+        assert_eq!(log[0].row, 7);
+        assert_eq!(log[4].kind, crate::audit::CmdKind::RefAb);
+        // Log is drained, not disabled.
+        assert!(c.take_cmd_log().is_empty());
+    }
+
+    #[test]
+    fn audit_disabled_reports_nothing() {
+        let mut c = ch();
+        c.issue_act(BankId(0), 1, 0);
+        assert_eq!(c.audit_observed(), 0);
+        assert_eq!(c.audit_violation_count(), 0);
+        assert!(c.audit_violations().is_none());
+        assert!(c.take_cmd_log().is_empty());
     }
 }

@@ -18,11 +18,13 @@
 //! * [`power`] — a Micron-power-calculator-style GDDR5 power model used for
 //!   the Section VI-B energy analysis.
 
+pub mod audit;
 pub mod bank;
 pub mod channel;
 pub mod merb;
 pub mod power;
 
+pub use audit::{CmdEvent, CmdKind, Rule, TimingAuditor, Violation};
 pub use bank::{Bank, BankState};
 pub use channel::{Channel, ChannelStats, Command};
 pub use merb::MerbTable;

@@ -19,7 +19,6 @@
 
 use ldsim_types::clock::ClockDomain;
 use ldsim_types::config::TimingParams;
-use serde::{Deserialize, Serialize};
 
 /// The per-bank-count MERB table.
 ///
@@ -36,7 +35,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(merb.get(4), 7);
 /// assert_eq!(merb.get(16), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerbTable {
     /// `values[b-1]` = MERB when `b` banks have pending work.
     values: Vec<u8>,

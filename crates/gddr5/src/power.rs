@@ -13,12 +13,11 @@
 
 use crate::channel::ChannelStats;
 use ldsim_types::clock::{ClockDomain, Cycle};
-use serde::{Deserialize, Serialize};
 
 /// Electrical parameters for one GDDR5 device pair (one channel = 2 x32
 /// chips operated in tandem; the values below are per-channel, i.e. both
 /// chips combined).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     /// Supply voltage (V).
     pub vdd: f64,
@@ -54,7 +53,7 @@ impl Default for PowerParams {
 }
 
 /// A power/energy breakdown for one channel over an interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerBreakdown {
     pub background_w: f64,
     pub act_pre_w: f64,

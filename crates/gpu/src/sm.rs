@@ -124,7 +124,12 @@ pub struct Sm {
 }
 
 impl Sm {
-    pub fn new(id: SmId, cfg: &GpuConfig, mapper: AddressMapper, programs: Vec<WarpProgram>) -> Self {
+    pub fn new(
+        id: SmId,
+        cfg: &GpuConfig,
+        mapper: AddressMapper,
+        programs: Vec<WarpProgram>,
+    ) -> Self {
         assert!(programs.len() <= cfg.max_warps_per_sm.max(programs.len()));
         let warps = programs
             .iter()
@@ -718,8 +723,7 @@ mod tests {
         let mut out2 = Vec::new();
         sm2.tick(0, 2, &mut out2);
         sm2.tick(1, 2, &mut out2); // warp 1 blocked: stage_q still busy
-        let warps: std::collections::HashSet<u16> =
-            out2.iter().map(|r| r.wg.warp.warp.0).collect();
+        let warps: std::collections::HashSet<u16> = out2.iter().map(|r| r.wg.warp.warp.0).collect();
         assert_eq!(warps.len(), 1, "one staged group at a time");
     }
 

@@ -639,6 +639,21 @@ impl Controller {
         }));
     }
 
+    /// Attach the independent protocol auditor to this channel.
+    pub fn enable_audit(&mut self) {
+        self.channel.enable_audit();
+    }
+
+    /// Start structured command logging on this channel.
+    pub fn enable_cmd_log(&mut self) {
+        self.channel.enable_cmd_log();
+    }
+
+    /// Protocol violations the auditor has counted (0 when auditing is off).
+    pub fn audit_violation_count(&self) -> u64 {
+        self.channel.audit_violation_count()
+    }
+
     /// Name of the active policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
@@ -962,7 +977,13 @@ mod tests {
         // Enough traffic to span several tREFI windows (tREFI is ~2850
         // cycles; 500 scattered reads run for >4000).
         for i in 0..500u64 {
-            ctrl.push_request(mk_req(&m, i + 1, (i * 8191) % (1 << 25) * 128, ReqKind::Read, 1));
+            ctrl.push_request(mk_req(
+                &m,
+                i + 1,
+                (i * 8191) % (1 << 25) * 128,
+                ReqKind::Read,
+                1,
+            ));
         }
         let (resps, end) = run_to_idle(&mut ctrl, 2_000_000);
         assert_eq!(resps.len(), 500);
@@ -990,14 +1011,8 @@ mod tests {
         let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
         let ch = Channel::new(&mem, t);
         let merb = MerbTable::from_timing(&mem.timing, ClockDomain::GDDR5, mem.banks_per_channel);
-        let mut ctrl = Controller::new(
-            ChannelId(0),
-            &mem,
-            ch,
-            Box::new(FrFcfs::new()),
-            merb,
-            false,
-        );
+        let mut ctrl =
+            Controller::new(ChannelId(0), &mem, ch, Box::new(FrFcfs::new()), merb, false);
         let m = AddressMapper::new(&mem, 128);
         for i in 0..60u64 {
             ctrl.push_request(mk_req(&m, i + 1, i * 4096 * 128, ReqKind::Read, 1));
@@ -1015,14 +1030,8 @@ mod tests {
         let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
         let ch = Channel::new(&mem, t);
         let merb = MerbTable::from_timing(&mem.timing, ClockDomain::GDDR5, mem.banks_per_channel);
-        let mut ctrl = Controller::new(
-            ChannelId(0),
-            &mem,
-            ch,
-            Box::new(FrFcfs::new()),
-            merb,
-            false,
-        );
+        let mut ctrl =
+            Controller::new(ChannelId(0), &mem, ch, Box::new(FrFcfs::new()), merb, false);
         let m = AddressMapper::new(&mem, 128);
         // Same-row requests, which open-page would stream as hits.
         let base = 0x10_0000u64;

@@ -268,7 +268,9 @@ impl Policy for Gmc {
         }
         // 3. No stream to continue: start the oldest pending stream (or, as
         //    a last resort, keep streaming past the streak limit).
-        fallback_other.or(fallback_any).map(|i| self.store.remove(i))
+        fallback_other
+            .or(fallback_any)
+            .map(|i| self.store.remove(i))
     }
 
     fn remove_group(&mut self, wg: WarpGroupId) -> Vec<MemRequest> {
@@ -638,11 +640,8 @@ impl AtlasLite {
         }
         self.next_epoch = now + self.epoch;
         self.epochs += 1;
-        let mut order: Vec<(u64, GlobalWarpId)> = self
-            .attained
-            .iter()
-            .map(|(w, &s)| (s, *w))
-            .collect();
+        let mut order: Vec<(u64, GlobalWarpId)> =
+            self.attained.iter().map(|(w, &s)| (s, *w)).collect();
         order.sort_by_key(|&(s, w)| (s, w));
         self.rank.clear();
         for (r, (_, w)) in order.into_iter().enumerate() {
@@ -932,7 +931,10 @@ mod tests {
                 break;
             }
         }
-        assert_ne!(miss_addr, 0, "fixture needs a same-bank different-row address");
+        assert_ne!(
+            miss_addr, 0,
+            "fixture needs a same-bank different-row address"
+        );
         let short = f.req(miss_addr, wg(1, 1, 0), 1, 1);
         let ids = short.id;
         p.on_arrival(short, 1);
@@ -994,8 +996,7 @@ mod tests {
         }
         let rb = f.req(0x9_0000, wb, 1, 10);
         let idb = rb.id;
-        let same_bank =
-            f.mapper.decode(0x9_0000).bank == f.mapper.decode(0x1000).bank;
+        let same_bank = f.mapper.decode(0x9_0000).bank == f.mapper.decode(0x1000).bank;
         p.on_arrival(rb, 10);
         let v = f.view(20);
         let first = p.pick(&v).unwrap();

@@ -200,10 +200,7 @@ mod tests {
         assert_eq!(v.array_score(&d), SCORE_HIT);
         assert_eq!(v.request_score(&d), SCORE_HIT + 5);
         assert!(v.headroom_ok(&d));
-        let miss = DecodedAddr {
-            row: 9,
-            ..d
-        };
+        let miss = DecodedAddr { row: 9, ..d };
         assert_eq!(v.array_score(&miss), SCORE_MISS);
         assert!(!v.headroom_ok(&miss), "miss needs 3 slots, only 2 free");
         assert_eq!(v.banks_with_work(|i| i == 3), 2);

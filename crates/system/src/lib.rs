@@ -18,6 +18,7 @@
 //! divergence, bandwidth utilisation, row-hit rate, write intensity,
 //! drain-stall classification and the DRAM power estimate.
 
+pub mod diff;
 pub mod metrics;
 pub mod partition;
 #[cfg(test)]
@@ -25,8 +26,11 @@ mod partition_tests;
 pub mod runner;
 pub mod sim;
 pub mod table;
+pub mod trace;
 
+pub use diff::{differential_check, DiffCell, DiffReport};
 pub use metrics::RunResult;
-pub use runner::{run_grid, run_one, GridCell};
+pub use runner::{run_grid, run_one, set_run_opts, GridCell, RunOpts};
 pub use sim::Simulator;
 pub use table::Table;
+pub use trace::{Trace, WgEvent, WgStage};

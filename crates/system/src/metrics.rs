@@ -2,10 +2,10 @@
 
 use ldsim_gpu::sm::LoadRecord;
 use ldsim_types::clock::Cycle;
-use serde::{Deserialize, Serialize};
+use ldsim_util::json::JsonObject;
 
 /// The result of one full-system simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     pub benchmark: String,
     pub scheduler: String,
@@ -69,6 +69,23 @@ pub struct RunResult {
     /// [groups selected, MERB substitutions, WG-W priority grants,
     /// coordination caps applied].
     pub policy_counters: [u64; 4],
+
+    // ---- conformance / conservation / reproducibility ----
+    /// DRAM commands re-validated by the [`ldsim_gddr5::TimingAuditor`]
+    /// (0 when auditing is disabled).
+    pub audit_commands: u64,
+    /// Protocol violations the auditor flagged (0 when disabled — check
+    /// `audit_commands` to distinguish "clean" from "not audited").
+    pub audit_violations: u64,
+    /// Read requests delivered to memory partitions.
+    pub mem_read_requests: u64,
+    /// Read responses delivered back to SMs. Conservation demands equality
+    /// with `mem_read_requests` on finished runs: every read delivered to a
+    /// partition yields exactly one SM response (L2 hit, MSHR merge, or
+    /// DRAM fill) — an inequality means a request was lost or duplicated.
+    pub mem_read_responses: u64,
+    /// Stable FNV-1a digest of the event trace (None when tracing is off).
+    pub trace_hash: Option<u64>,
 }
 
 impl RunResult {
@@ -98,6 +115,54 @@ impl RunResult {
             (self.drain_stalled_unit + self.drain_stalled_orphan) as f64
                 / self.drain_stalled_groups as f64
         }
+    }
+
+    /// Did every read delivered to a memory partition produce exactly one
+    /// SM response? (Only meaningful on finished runs — a run cut off by
+    /// the cycle limit legitimately has responses still in flight.)
+    pub fn conserves_requests(&self) -> bool {
+        self.mem_read_requests == self.mem_read_responses
+    }
+
+    /// Serialize as one flat JSON object (the bench binaries' dump format).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("benchmark", &self.benchmark)
+            .str("scheduler", &self.scheduler)
+            .bool("finished", self.finished)
+            .u64("cycles", self.cycles)
+            .u64("instructions", self.instructions)
+            .f64("ipc", self.ipc())
+            .u64("loads", self.loads)
+            .u64("divergent_loads", self.divergent_loads)
+            .f64("avg_reqs_per_load", self.avg_reqs_per_load)
+            .f64("avg_dram_gap", self.avg_dram_gap)
+            .f64("last_first_ratio", self.last_first_ratio)
+            .f64("avg_channels_touched", self.avg_channels_touched)
+            .f64("avg_banks_touched", self.avg_banks_touched)
+            .f64("same_row_frac", self.same_row_frac)
+            .f64("avg_effective_latency", self.avg_effective_latency)
+            .f64("bw_utilization", self.bw_utilization)
+            .f64("row_hit_rate", self.row_hit_rate)
+            .f64("dram_power_w", self.dram_power_w)
+            .f64("write_intensity", self.write_intensity)
+            .u64("drains", self.drains)
+            .u64("drain_stalled_groups", self.drain_stalled_groups)
+            .u64("drain_stalled_unit", self.drain_stalled_unit)
+            .u64("drain_stalled_orphan", self.drain_stalled_orphan)
+            .f64("l1_hit_rate", self.l1_hit_rate)
+            .f64("l2_hit_rate", self.l2_hit_rate)
+            .u64("dram_reads", self.dram_reads)
+            .u64("dram_writes", self.dram_writes)
+            .f64("sm_port_busy_frac", self.sm_port_busy_frac)
+            .f64("sm_mem_idle_frac", self.sm_mem_idle_frac)
+            .u64_array("policy_counters", &self.policy_counters)
+            .u64("audit_commands", self.audit_commands)
+            .u64("audit_violations", self.audit_violations)
+            .u64("mem_read_requests", self.mem_read_requests)
+            .u64("mem_read_responses", self.mem_read_responses)
+            .opt_u64("trace_hash", self.trace_hash)
+            .build()
     }
 }
 
@@ -275,9 +340,51 @@ mod tests {
             sm_port_busy_frac: 0.5,
             sm_mem_idle_frac: 0.1,
             policy_counters: [0; 4],
+            audit_commands: 0,
+            audit_violations: 0,
+            mem_read_requests: 80,
+            mem_read_responses: 80,
+            trace_hash: Some(42),
         };
         assert!((r.ipc() - 2.5).abs() < 1e-9);
         assert!((r.divergent_frac() - 0.5).abs() < 1e-9);
         assert!((r.drain_unit_orphan_frac() - 0.5).abs() < 1e-9);
+        assert!(r.conserves_requests());
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let r = RunResult {
+            benchmark: "spmv".into(),
+            scheduler: "WG-W".into(),
+            finished: true,
+            cycles: 1000,
+            instructions: 4000,
+            trace_hash: Some(0xDEAD),
+            ..Default::default()
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"benchmark\":\"spmv\""));
+        assert!(j.contains("\"scheduler\":\"WG-W\""));
+        assert!(j.contains("\"cycles\":1000"));
+        assert!(j.contains("\"ipc\":4"));
+        assert!(j.contains(&format!("\"trace_hash\":{}", 0xDEAD)));
+        let off = RunResult::default().to_json();
+        assert!(off.contains("\"trace_hash\":null"));
+    }
+
+    #[test]
+    fn conservation_detects_loss_and_duplication() {
+        let mut r = RunResult {
+            mem_read_requests: 10,
+            mem_read_responses: 10,
+            ..Default::default()
+        };
+        assert!(r.conserves_requests());
+        r.mem_read_responses = 9; // lost
+        assert!(!r.conserves_requests());
+        r.mem_read_responses = 11; // duplicated
+        assert!(!r.conserves_requests());
     }
 }

@@ -40,12 +40,7 @@ pub struct Partition {
 }
 
 impl Partition {
-    pub fn new(
-        id: ChannelId,
-        l2_cfg: &CacheConfig,
-        mem: &MemConfig,
-        ctrl: Controller,
-    ) -> Self {
+    pub fn new(id: ChannelId, l2_cfg: &CacheConfig, mem: &MemConfig, ctrl: Controller) -> Self {
         Self {
             id,
             l2: Cache::new(l2_cfg),
@@ -105,8 +100,7 @@ impl Partition {
                     if self.l2.probe(req.line_addr, false) {
                         // L2 hit: absorbed; respond to the SM.
                         self.input.pop_front();
-                        self.ctrl
-                            .note_absorbed(req.wg, req.group_size_on_channel);
+                        self.ctrl.note_absorbed(req.wg, req.group_size_on_channel);
                         self.to_sm.push_back((
                             req.wg.warp.sm.0 as usize,
                             SmResponse {
@@ -118,8 +112,7 @@ impl Partition {
                     } else if self.l2_mshr.in_flight(req.line_addr) {
                         // Merged: absorbed; data comes with the earlier miss.
                         self.input.pop_front();
-                        self.ctrl
-                            .note_absorbed(req.wg, req.group_size_on_channel);
+                        self.ctrl.note_absorbed(req.wg, req.group_size_on_channel);
                         // Cross-warp sharing signal (Section VIII): the
                         // original group's line now blocks another warp too.
                         if let Some(first) = self.l2_mshr.waiters(req.line_addr).first() {

@@ -119,7 +119,10 @@ fn dram_fill_wakes_all_waiters_marked_from_dram() {
     };
     p.on_ctrl_response(&resp, 510);
     assert_eq!(p.to_sm.len(), 2, "both waiters wake");
-    assert!(p.to_sm.iter().all(|(_, r)| r.from_dram && r.dram_cycle == 500));
+    assert!(p
+        .to_sm
+        .iter()
+        .all(|(_, r)| r.from_dram && r.dram_cycle == 500));
     // The line is now resident: a third access hits.
     assert!(p.l2.contains(mapper.line_addr(addr)));
 }

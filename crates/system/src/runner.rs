@@ -1,20 +1,45 @@
 //! The experiment runner: sweeps {benchmark x scheduler} grids in parallel
-//! (one simulation per core via rayon) and returns the cells for the
-//! figure binaries to format.
+//! (one simulation per core via [`ldsim_util::parallel_map`]) and returns
+//! the cells for the figure binaries to format.
 
 use crate::metrics::RunResult;
 use crate::sim::Simulator;
 use ldsim_types::config::{SchedulerKind, SimConfig};
+use ldsim_util::parallel_map;
 use ldsim_workloads::{benchmark, Scale};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One (benchmark, scheduler) simulation outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridCell {
     pub benchmark: String,
     pub scheduler: SchedulerKind,
     pub result: RunResult,
+}
+
+/// Process-wide options every [`run_one`] / [`run_grid`] call applies —
+/// how the bench binaries' `--audit` / `--trace` flags reach all nineteen
+/// figure binaries without each one threading a config through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Attach the protocol conformance auditor to every channel; a run
+    /// that ends with violations panics with the first few diagnoses.
+    pub audit: bool,
+    /// Record the event trace and publish its stable hash in the result.
+    pub trace: bool,
+}
+
+static RUN_OPTS: OnceLock<RunOpts> = OnceLock::new();
+
+/// Set the process-wide run options. First call wins; later calls are
+/// ignored (the bench binaries call this once, before any runs).
+pub fn set_run_opts(opts: RunOpts) {
+    let _ = RUN_OPTS.set(opts);
+}
+
+/// The active process-wide run options (default: both off).
+pub fn run_opts() -> RunOpts {
+    RUN_OPTS.get().copied().unwrap_or_default()
 }
 
 /// Run one benchmark under one scheduler, using the paper's fixed
@@ -23,13 +48,11 @@ pub struct GridCell {
 /// slowest warp's tail — is measured. Every scheduler executes the same
 /// instruction budget on the same kernel.
 pub fn run_one(bench: &str, scale: Scale, seed: u64, kind: SchedulerKind) -> RunResult {
-    let kernel = benchmark(bench, scale, seed).generate();
-    let mut cfg = SimConfig::default().with_scheduler(kind);
-    cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
-    Simulator::new(cfg, &kernel).run()
+    run_one_with(bench, scale, seed, kind, |_| {})
 }
 
-/// Run one benchmark with a custom configuration tweak.
+/// Run one benchmark with a custom configuration tweak (applied on top of
+/// the process-wide [`RunOpts`], so a tweak can still override them).
 pub fn run_one_with(
     bench: &str,
     scale: Scale,
@@ -38,9 +61,22 @@ pub fn run_one_with(
     tweak: impl Fn(&mut SimConfig),
 ) -> RunResult {
     let kernel = benchmark(bench, scale, seed).generate();
+    let opts = run_opts();
     let mut cfg = SimConfig::default().with_scheduler(kind);
+    cfg.audit = opts.audit;
+    cfg.trace = opts.trace;
+    cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
     tweak(&mut cfg);
-    Simulator::new(cfg, &kernel).run()
+    let audit_on = cfg.audit;
+    let result = Simulator::new(cfg, &kernel).run();
+    if audit_on && result.audit_violations > 0 {
+        panic!(
+            "DRAM protocol audit failed: {} violation(s) in {} commands \
+             ({bench}/{kind:?}, scale {scale:?}, seed {seed})",
+            result.audit_violations, result.audit_commands
+        );
+    }
+    result
 }
 
 /// Run every (benchmark, scheduler) pair in parallel. Kernels are generated
@@ -55,14 +91,11 @@ pub fn run_grid(
         .iter()
         .flat_map(|b| kinds.iter().map(move |k| (b.to_string(), *k)))
         .collect();
-    pairs
-        .into_par_iter()
-        .map(|(b, k)| GridCell {
-            result: run_one(&b, scale, seed, k),
-            benchmark: b,
-            scheduler: k,
-        })
-        .collect()
+    parallel_map(pairs, |(b, k)| GridCell {
+        result: run_one(&b, scale, seed, k),
+        benchmark: b,
+        scheduler: k,
+    })
 }
 
 /// Pull one cell out of a grid.

@@ -2,6 +2,7 @@
 
 use crate::metrics::{LoadAgg, RunResult};
 use crate::partition::Partition;
+use crate::trace::{Trace, WgEvent, WgStage};
 use ldsim_gddr5::{Channel, MerbTable, PowerModel, PowerParams};
 use ldsim_gpu::sm::{Sm, SmResponse};
 use ldsim_gpu::xbar::Crossbar;
@@ -30,6 +31,11 @@ pub struct Simulator {
     resp_buf: Vec<MemResponse>,
     coord_buf: Vec<CoordMsg>,
     sm_out: Vec<ldsim_types::req::MemRequest>,
+    // Conservation counters (always on; two u64 increments per event).
+    mem_read_requests: u64,
+    mem_read_responses: u64,
+    /// Warp-group lifecycle events (populated only when `cfg.trace`).
+    wg_events: Vec<WgEvent>,
 }
 
 impl Simulator {
@@ -72,7 +78,13 @@ impl Simulator {
 
         let partitions: Vec<Partition> = (0..cfg.mem.num_channels)
             .map(|c| {
-                let ch = Channel::new(&cfg.mem, timing);
+                let mut ch = Channel::new(&cfg.mem, timing);
+                if cfg.audit {
+                    ch.enable_audit();
+                }
+                if cfg.trace {
+                    ch.enable_cmd_log();
+                }
                 let policy = make_policy(cfg.scheduler, &cfg.mem);
                 let ctrl = Controller::new(
                     ChannelId(c as u8),
@@ -90,7 +102,12 @@ impl Simulator {
         let num_ch = partitions.len();
         Self {
             req_xbar: Crossbar::new(num_sms, num_ch, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue),
-            resp_xbar: Crossbar::new(num_ch, num_sms, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue * 4),
+            resp_xbar: Crossbar::new(
+                num_ch,
+                num_sms,
+                cfg.gpu.xbar_latency,
+                cfg.gpu.xbar_queue * 4,
+            ),
             coord: CoordNetwork::new(num_ch, cfg.mem.coord_latency),
             zero_div,
             fast_seen: HashSet::new(),
@@ -101,6 +118,9 @@ impl Simulator {
             resp_buf: Vec::new(),
             coord_buf: Vec::new(),
             sm_out: Vec::new(),
+            mem_read_requests: 0,
+            mem_read_responses: 0,
+            wg_events: Vec::new(),
         }
     }
 
@@ -138,7 +158,13 @@ impl Simulator {
 
     /// Run to completion (all warps retired) or the cycle limit; collect the
     /// full metric set.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_traced().0
+    }
+
+    /// Like [`Self::run`], but also returns the assembled event [`Trace`]
+    /// (None unless the config enabled tracing).
+    pub fn run_traced(mut self) -> (RunResult, Option<Trace>) {
         let mut now: Cycle = 0;
         let mut finished = false;
         let limit = self.cfg.instruction_limit.unwrap_or(u64::MAX);
@@ -159,7 +185,7 @@ impl Simulator {
             }
             now += 1;
         }
-        self.collect(now.max(1), finished)
+        self.collect_full(now.max(1), finished)
     }
 
     /// Advance the machine one cycle.
@@ -183,11 +209,20 @@ impl Simulator {
             });
         }
         // DRAM responses -> L2 fill -> SM-bound responses.
+        let trace_on = self.cfg.trace;
         for pi in 0..self.partitions.len() {
             self.resp_buf.clear();
             self.partitions[pi].ctrl.drain_responses(&mut self.resp_buf);
             for i in 0..self.resp_buf.len() {
                 let resp = self.resp_buf[i];
+                if trace_on {
+                    self.wg_events.push(WgEvent {
+                        cycle: resp.done_cycle,
+                        wg: resp.wg,
+                        channel: pi as u8,
+                        stage: WgStage::Serve,
+                    });
+                }
                 self.partitions[pi].on_ctrl_response(&resp, now);
             }
             self.partitions[pi].tick(now);
@@ -205,10 +240,12 @@ impl Simulator {
         }
         // Response crossbar -> SMs (SMs always accept fills).
         let sms = &mut self.sms;
+        let resp_count = &mut self.mem_read_responses;
         self.resp_xbar.tick(
             now,
             |_| true,
             |sm, resp| {
+                *resp_count += 1;
                 sms[sm].accept_response(resp, now);
             },
         );
@@ -233,6 +270,8 @@ impl Simulator {
         // down as deliveries are granted within this tick.
         let mut room: Vec<usize> = self.partitions.iter().map(|p| p.input_room()).collect();
         let partitions = &mut self.partitions;
+        let req_count = &mut self.mem_read_requests;
+        let wg_events = &mut self.wg_events;
         self.req_xbar.tick(
             now,
             |dst| {
@@ -244,6 +283,17 @@ impl Simulator {
                 }
             },
             |dst, req| {
+                if req.kind == ldsim_types::req::ReqKind::Read {
+                    *req_count += 1;
+                    if trace_on {
+                        wg_events.push(WgEvent {
+                            cycle: now,
+                            wg: req.wg,
+                            channel: dst as u8,
+                            stage: WgStage::Arrive,
+                        });
+                    }
+                }
                 if zero_div
                     && req.kind == ldsim_types::req::ReqKind::Read
                     && !fast_seen.insert(req.wg)
@@ -256,6 +306,44 @@ impl Simulator {
     }
 
     fn collect(self, cycles: Cycle, finished: bool) -> RunResult {
+        self.collect_full(cycles, finished).0
+    }
+
+    fn collect_full(mut self, cycles: Cycle, finished: bool) -> (RunResult, Option<Trace>) {
+        // Audit tallies and command logs come out of the channels first (the
+        // rest of collection only reads).
+        let mut audit_commands = 0u64;
+        let mut audit_violations = 0u64;
+        let mut channel_cmds = Vec::new();
+        for p in &mut self.partitions {
+            audit_commands += p.ctrl.channel.audit_observed();
+            audit_violations += p.ctrl.channel.audit_violation_count();
+            if self.cfg.trace {
+                channel_cmds.push(p.ctrl.channel.take_cmd_log());
+            }
+        }
+        let scheduler_name = if self.cfg.perfect_coalescing {
+            format!("{}+PerfectCoalesce", self.cfg.scheduler.name())
+        } else {
+            self.cfg.scheduler.name().to_string()
+        };
+        let trace = if self.cfg.trace {
+            Some(Trace {
+                benchmark: self.benchmark.clone(),
+                scheduler: scheduler_name.clone(),
+                channel_cmds,
+                wg_events: std::mem::take(&mut self.wg_events),
+                loads: self
+                    .sms
+                    .iter()
+                    .flat_map(|s| s.records.iter().copied())
+                    .collect(),
+            })
+        } else {
+            None
+        };
+        let trace_hash = trace.as_ref().map(|t| t.stable_hash());
+
         let mut agg = LoadAgg::new();
         let mut instructions = 0u64;
         let mut l1_hits = 0u64;
@@ -317,13 +405,9 @@ impl Simulator {
         }
         let nch = self.partitions.len() as f64;
 
-        RunResult {
+        let result = RunResult {
             benchmark: self.benchmark,
-            scheduler: if self.cfg.perfect_coalescing {
-                format!("{}+PerfectCoalesce", self.cfg.scheduler.name())
-            } else {
-                self.cfg.scheduler.name().to_string()
-            },
+            scheduler: scheduler_name,
             finished,
             cycles,
             instructions,
@@ -367,7 +451,13 @@ impl Simulator {
             sm_port_busy_frac: port_busy as f64 / (cycles.max(1) as f64 * self.sms.len() as f64),
             sm_mem_idle_frac: mem_idle as f64 / (cycles.max(1) as f64 * self.sms.len() as f64),
             policy_counters: counters,
-        }
+            audit_commands,
+            audit_violations,
+            mem_read_requests: self.mem_read_requests,
+            mem_read_responses: self.mem_read_responses,
+            trace_hash,
+        };
+        (result, trace)
     }
 }
 

@@ -30,10 +30,9 @@
 
 use crate::config::MemConfig;
 use crate::ids::{BankId, ChannelId};
-use serde::{Deserialize, Serialize};
 
 /// A fully decoded physical address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DecodedAddr {
     pub channel: ChannelId,
     pub bank: BankId,
@@ -58,7 +57,7 @@ pub struct DecodedAddr {
 /// assert_eq!(a.bank, b.bank);
 /// assert_eq!(a.row, b.row);      // consecutive lines share a DRAM row
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapper {
     num_channels: u64,
     num_banks: u64,
@@ -205,9 +204,8 @@ mod tests {
         // A 2KB stride keeps addr[10:8] constant; without the XOR with
         // addr[13:11] every access would camp on one channel.
         let m = mapper();
-        let chans: std::collections::HashSet<u8> = (0..64u64)
-            .map(|i| m.decode(i * 2048).channel.0)
-            .collect();
+        let chans: std::collections::HashSet<u8> =
+            (0..64u64).map(|i| m.decode(i * 2048).channel.0).collect();
         assert!(chans.len() >= 4, "2KB stride camped: {chans:?}");
     }
 

@@ -5,13 +5,11 @@
 //! (1.4 GHz) is within 7% of this, and — as DESIGN.md argues — unifying the
 //! domains does not change any scheduler ordering, only absolute IPC scale.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in GDDR5 command-clock cycles.
 pub type Cycle = u64;
 
 /// Converts between nanoseconds and command-clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockDomain {
     /// Clock period in nanoseconds (GDDR5: 0.667).
     pub tck_ns: f64,

@@ -4,11 +4,10 @@
 //! compute units, 6 GDDR5 channels, Hynix H5GQ1H24AFR-style timing.
 
 use crate::clock::{ClockDomain, Cycle};
-use serde::{Deserialize, Serialize};
 
 /// GDDR5 timing parameters, stored in nanoseconds as the datasheet (and
 /// Table II) specify them. Cycle counts are derived via [`TimingParams::in_cycles`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingParams {
     pub t_rc_ns: f64,
     pub t_rcd_ns: f64,
@@ -64,7 +63,7 @@ impl Default for TimingParams {
 }
 
 /// All GDDR5 timing constraints pre-converted to command-clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingCycles {
     pub t_rc: Cycle,
     pub t_rcd: Cycle,
@@ -118,7 +117,7 @@ impl TimingParams {
 }
 
 /// Cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     pub size_bytes: usize,
     pub line_bytes: usize,
@@ -136,7 +135,7 @@ impl CacheConfig {
 }
 
 /// GPU-core-side configuration (Table II, "GPU System Configuration").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of compute units (SMs). Table II: 30.
     pub num_sms: usize,
@@ -179,7 +178,7 @@ impl Default for GpuConfig {
 }
 
 /// Memory-system configuration (Table II, DRAM side).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// Number of independent GDDR5 channels / memory partitions. Table II: 6.
     pub num_channels: usize,
@@ -249,7 +248,7 @@ impl Default for MemConfig {
 }
 
 /// Row-buffer management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PagePolicy {
     /// Leave rows open after column accesses (the paper's configuration);
     /// the transaction scheduler closes them on conflicts.
@@ -260,7 +259,7 @@ pub enum PagePolicy {
 }
 
 /// The scheduling policy run by every memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Strict first-come-first-serve over individual requests.
     Fcfs,
@@ -328,16 +327,13 @@ impl SchedulerKind {
     pub fn coordinates(&self) -> bool {
         matches!(
             self,
-            SchedulerKind::WgM
-                | SchedulerKind::WgBw
-                | SchedulerKind::WgW
-                | SchedulerKind::WgShared
+            SchedulerKind::WgM | SchedulerKind::WgBw | SchedulerKind::WgW | SchedulerKind::WgShared
         )
     }
 }
 
 /// Top-level simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     pub gpu: GpuConfig,
     pub mem: MemConfig,
@@ -356,6 +352,16 @@ pub struct SimConfig {
     pub instruction_limit: Option<u64>,
     /// Clock domain (GDDR5 command clock).
     pub clock: ClockDomain,
+    /// Attach the independent [`TimingAuditor`] to every channel: each
+    /// issued DRAM command is re-validated against the JEDEC timing rules
+    /// by a second, independently written state machine — catching
+    /// scheduler bugs in release builds where `debug_assert!` is compiled
+    /// out. Off by default (zero cost when disabled).
+    pub audit: bool,
+    /// Record a structured event trace (per-channel command log, warp-group
+    /// lifecycle, latency-divergence samples) with a stable FNV-1a hash,
+    /// exportable as JSONL. Off by default (zero cost when disabled).
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -368,6 +374,8 @@ impl Default for SimConfig {
             max_cycles: 200_000_000,
             instruction_limit: None,
             clock: ClockDomain::GDDR5,
+            audit: false,
+            trace: false,
         }
     }
 }
@@ -375,6 +383,18 @@ impl Default for SimConfig {
 impl SimConfig {
     pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
         self.scheduler = s;
+        self
+    }
+
+    /// Enable the protocol-conformance auditor.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Enable structured event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 

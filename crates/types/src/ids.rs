@@ -5,18 +5,16 @@
 //! small integer so that hot structures such as [`crate::req::MemRequest`]
 //! stay compact and `Copy`.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a streaming multiprocessor (SM / compute unit).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SmId(pub u16);
 
 /// Identifier of a warp *within* one SM.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WarpId(pub u16);
 
 /// Globally unique warp identifier: the (SM, warp-slot) pair.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalWarpId {
     pub sm: SmId,
     pub warp: WarpId,
@@ -38,15 +36,15 @@ impl GlobalWarpId {
 }
 
 /// Identifier of a memory channel (memory partition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u8);
 
 /// Identifier of a DRAM bank within one channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BankId(pub u8);
 
 /// Unique id for every memory request created during a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 /// A *warp-group* identifies one dynamic load (or store) instruction of one
@@ -55,7 +53,7 @@ pub struct RequestId(pub u64);
 /// This is the unit the paper's warp-aware schedulers batch and score
 /// (Section IV-A). `load_serial` disambiguates successive loads of the same
 /// warp so that two loads in flight never alias.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WarpGroupId {
     pub warp: GlobalWarpId,
     pub load_serial: u32,
@@ -68,7 +66,7 @@ impl WarpGroupId {
 }
 
 /// Active-lane mask for a 32-lane warp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaneMask(pub u32);
 
 impl LaneMask {

@@ -8,10 +8,9 @@
 //! DESIGN.md substitution #1).
 
 use crate::ids::LaneMask;
-use serde::{Deserialize, Serialize};
 
 /// One warp-level instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// `n` back-to-back single-cycle ALU instruction groups. The warp is
     /// busy for `n` cycles and retires `n` instructions, occupying the SM's
@@ -68,7 +67,7 @@ impl Instruction {
 }
 
 /// The instruction stream of one warp.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct WarpProgram {
     pub insns: Vec<Instruction>,
 }
@@ -98,7 +97,7 @@ impl WarpProgram {
 }
 
 /// A whole kernel: one program per (SM, warp slot). `programs[sm][warp]`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct KernelProgram {
     pub name: String,
     pub programs: Vec<Vec<WarpProgram>>,

@@ -10,17 +10,16 @@
 use crate::addr::DecodedAddr;
 use crate::clock::Cycle;
 use crate::ids::{RequestId, WarpGroupId};
-use serde::{Deserialize, Serialize};
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReqKind {
     Read,
     Write,
 }
 
 /// One cache-line-sized memory transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemRequest {
     pub id: RequestId,
     pub kind: ReqKind,
@@ -46,7 +45,7 @@ pub struct MemRequest {
 }
 
 /// Completion notice returned by the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemResponse {
     pub id: RequestId,
     pub wg: WarpGroupId,

@@ -1,9 +1,7 @@
 //! Statistics primitives shared by every component.
 
-use serde::{Deserialize, Serialize};
-
 /// A running mean that never stores samples.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningMean {
     pub count: u64,
     pub sum: f64,
@@ -31,7 +29,7 @@ impl RunningMean {
 }
 
 /// A fixed-bucket histogram with a final overflow bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     pub bucket_width: u64,
     pub buckets: Vec<u64>,

@@ -1,0 +1,101 @@
+//! Streaming FNV-1a 64-bit hashing.
+//!
+//! Used for stable trace hashes: the same event stream must hash to the
+//! same value on every platform and in every build profile, so the
+//! algorithm is fixed here (not `std::hash`, whose output is unspecified
+//! across releases and randomised for HashMap use).
+
+/// Streaming FNV-1a (64-bit).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(OFFSET)
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) -> &mut Self {
+        self.write(&x.to_le_bytes())
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, x: u32) -> &mut Self {
+        self.write(&x.to_le_bytes())
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, x: u8) -> &mut Self {
+        self.write(&[x])
+    }
+
+    /// Hash an `f64` by its bit pattern (exact, not approximate).
+    #[inline]
+    pub fn write_f64(&mut self, x: f64) -> &mut Self {
+        self.write_u64(x.to_bits())
+    }
+
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot convenience.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn u64_and_f64_are_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_f64(1.5);
+        let mut d = Fnv64::new();
+        d.write_u64(1.5f64.to_bits());
+        assert_eq!(c.finish(), d.finish());
+    }
+}

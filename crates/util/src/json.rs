@@ -1,0 +1,164 @@
+//! Minimal JSON writer for the JSONL exports (run results, event traces).
+//!
+//! Only the subset the workspace emits is supported: flat objects with
+//! string / integer / float / bool / null fields and arrays of numbers.
+//! Output is deterministic — fields appear in insertion order and floats
+//! use Rust's shortest-roundtrip formatting.
+
+use std::fmt::Write as _;
+
+/// Escape a string into a JSON string literal (without the quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Floats: non-finite values become `null` (JSON has no NaN/Inf).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    pub fn opt_u64(&mut self, k: &str, v: Option<u64>) -> &mut Self {
+        match v {
+            Some(x) => self.u64(k, x),
+            None => self.null(k),
+        }
+    }
+
+    pub fn u64_array(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Finish and return the serialized object.
+    pub fn build(&mut self) -> String {
+        let mut s = std::mem::take(&mut self.buf);
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let mut o = JsonObject::new();
+        o.str("name", "bfs")
+            .u64("cycles", 12)
+            .f64("ipc", 1.5)
+            .bool("ok", true);
+        assert_eq!(
+            o.build(),
+            r#"{"name":"bfs","cycles":12,"ipc":1.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut o = JsonObject::new();
+        o.str("s", "a\"b\\c\nd");
+        assert_eq!(o.build(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut o = JsonObject::new();
+        o.f64("x", f64::NAN).f64("y", f64::INFINITY).f64("z", 0.25);
+        assert_eq!(o.build(), r#"{"x":null,"y":null,"z":0.25}"#);
+    }
+
+    #[test]
+    fn arrays_and_options() {
+        let mut o = JsonObject::new();
+        o.u64_array("a", &[1, 2, 3])
+            .opt_u64("h", None)
+            .opt_u64("g", Some(7));
+        assert_eq!(o.build(), r#"{"a":[1,2,3],"h":null,"g":7}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().build(), "{}");
+    }
+}

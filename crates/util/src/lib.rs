@@ -1,0 +1,22 @@
+//! Zero-dependency support library for the ldsim workspace.
+//!
+//! The build environment is fully offline, so everything that would
+//! normally come from small external crates lives here instead:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (xoshiro256**) with the
+//!   `gen_range` / `gen_bool` surface the workload generators use;
+//! * [`json`] — a minimal JSON object writer for the JSONL exports
+//!   (results and event traces);
+//! * [`hash`] — streaming FNV-1a 64-bit hashing for stable trace hashes;
+//! * [`par`] — a scoped worker-pool `parallel_map` replacing rayon in the
+//!   experiment runner.
+
+pub mod hash;
+pub mod json;
+pub mod par;
+pub mod rng;
+
+pub use hash::Fnv64;
+pub use json::JsonObject;
+pub use par::parallel_map;
+pub use rng::StdRng;

@@ -1,0 +1,90 @@
+//! Scoped worker-pool map: the experiment runner's rayon replacement.
+//!
+//! `parallel_map` runs `f` over every item on `min(items, cores)` scoped
+//! threads, preserving input order in the output. Work is distributed by an
+//! atomic cursor, so uneven item costs (a Full-scale WG-W run next to a
+//! Tiny FCFS run) still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand items out through Option slots so workers can take ownership.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker missed a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys = parallel_map(xs, |x| x * x);
+        assert_eq!(ys.len(), 100);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e: Vec<u32> = parallel_map(Vec::new(), |x: u32| x);
+        assert!(e.is_empty());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let xs: Vec<u64> = (0..32).collect();
+        let ys = parallel_map(xs, |x| {
+            // Uneven busy-work.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in ys.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -9,12 +9,10 @@ use ldsim_types::addr::AddressMapper;
 use ldsim_types::config::MemConfig;
 use ldsim_types::ids::LaneMask;
 use ldsim_types::kernel::{Instruction, KernelProgram, WarpProgram};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ldsim_util::rng::StdRng;
 
 /// Simulation scale: how much machine and how much work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// 2 SMs x 4 warps — unit/integration tests.
     Tiny,
@@ -204,7 +202,7 @@ impl BenchmarkGen {
                 let active = rng.gen_range(16..32usize);
                 let mut m = LaneMask::NONE;
                 for _ in 0..active {
-                    m.set(rng.gen_range(0..32));
+                    m.set(rng.gen_range(0..32usize));
                 }
                 if m.count() == 0 {
                     LaneMask::ALL
@@ -231,13 +229,7 @@ impl BenchmarkGen {
 
     /// Generate a divergent gather: `k` clusters of contiguous lanes, each
     /// targeting one cache line, with same-row bias between clusters.
-    fn gather(
-        &self,
-        rng: &mut StdRng,
-        p: &BenchProfile,
-        mean: f64,
-        anchor: &mut u64,
-    ) -> [u64; 32] {
+    fn gather(&self, rng: &mut StdRng, p: &BenchProfile, mean: f64, anchor: &mut u64) -> [u64; 32] {
         let lo = (mean * 0.5).max(2.0) as usize;
         let hi = (mean * 1.5).min(32.0) as usize;
         let k = rng.gen_range(lo..=hi.max(lo));
@@ -384,10 +376,7 @@ mod tests {
                 }
             }
             let _ = &mapper;
-            (
-                reqs as f64 / loads as f64,
-                divergent as f64 / loads as f64,
-            )
+            (reqs as f64 / loads as f64, divergent as f64 / loads as f64)
         };
         let (rpl_spmv, df_spmv) = stats("spmv");
         assert!(rpl_spmv > 4.0, "spmv requests/load {rpl_spmv}");

@@ -12,10 +12,8 @@
 //! * `nw`, `SS`, `sad`, `PVC` are write-intensive (Fig. 12) — WG-W matters;
 //! * regular benchmarks coalesce to one request per load and stream.
 
-use serde::{Deserialize, Serialize};
-
 /// Calibration targets for one synthetic benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchProfile {
     pub name: &'static str,
     pub suite: &'static str,
@@ -401,7 +399,10 @@ mod tests {
     #[test]
     fn write_intensive_benchmarks_flagged() {
         for n in ["nw", "SS", "sad"] {
-            assert!(find(n).unwrap().write_frac >= 0.3, "{n} should be write-heavy");
+            assert!(
+                find(n).unwrap().write_frac >= 0.3,
+                "{n} should be write-heavy"
+            );
         }
         assert!(find("spmv").unwrap().write_frac < 0.1);
     }

@@ -26,7 +26,13 @@ fn main() {
             ..SimConfig::default()
         };
         println!("\n=== {bench}: {} warps ===\n", kernel.num_warps());
-        let mut t = Table::new(&["scheduler", "IPC", "eff. latency", "divergence gap", "bus util"]);
+        let mut t = Table::new(&[
+            "scheduler",
+            "IPC",
+            "eff. latency",
+            "divergence gap",
+            "bus util",
+        ]);
         for k in kinds {
             let r = Simulator::new(cfg0.clone().with_scheduler(k), &kernel).run();
             t.row(vec![

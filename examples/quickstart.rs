@@ -28,7 +28,11 @@ fn main() {
     let wgw = Simulator::new(cfg.with_scheduler(SchedulerKind::WgW), &kernel).run();
 
     println!("\n                       GMC        WG-W");
-    println!("IPC                 {:8.2}    {:8.2}", base.ipc(), wgw.ipc());
+    println!(
+        "IPC                 {:8.2}    {:8.2}",
+        base.ipc(),
+        wgw.ipc()
+    );
     println!(
         "effective latency   {:8.0}    {:8.0}   (cycles, issue -> last response)",
         base.avg_effective_latency, wgw.avg_effective_latency

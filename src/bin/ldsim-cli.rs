@@ -85,7 +85,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--trace" => {
                 i += 1;
@@ -109,16 +112,50 @@ fn main() {
     t.row(vec!["instructions".into(), r.instructions.to_string()]);
     t.row(vec!["IPC".into(), format!("{:.3}", r.ipc())]);
     t.row(vec!["loads".into(), r.loads.to_string()]);
-    t.row(vec!["divergent loads".into(), format!("{:.1}%", r.divergent_frac() * 100.0)]);
-    t.row(vec!["requests / load".into(), format!("{:.2}", r.avg_reqs_per_load)]);
-    t.row(vec!["effective latency (cyc)".into(), format!("{:.0}", r.avg_effective_latency)]);
-    t.row(vec!["divergence gap (cyc)".into(), format!("{:.0}", r.avg_dram_gap)]);
-    t.row(vec!["controllers / warp".into(), format!("{:.2}", r.avg_channels_touched)]);
-    t.row(vec!["bus utilisation".into(), format!("{:.1}%", r.bw_utilization * 100.0)]);
-    t.row(vec!["row-hit rate".into(), format!("{:.1}%", r.row_hit_rate * 100.0)]);
-    t.row(vec!["write intensity".into(), format!("{:.1}%", r.write_intensity * 100.0)]);
-    t.row(vec!["DRAM power (W)".into(), format!("{:.1}", r.dram_power_w)]);
-    t.row(vec!["L1 / L2 hit rate".into(), format!("{:.1}% / {:.1}%", r.l1_hit_rate * 100.0, r.l2_hit_rate * 100.0)]);
+    t.row(vec![
+        "divergent loads".into(),
+        format!("{:.1}%", r.divergent_frac() * 100.0),
+    ]);
+    t.row(vec![
+        "requests / load".into(),
+        format!("{:.2}", r.avg_reqs_per_load),
+    ]);
+    t.row(vec![
+        "effective latency (cyc)".into(),
+        format!("{:.0}", r.avg_effective_latency),
+    ]);
+    t.row(vec![
+        "divergence gap (cyc)".into(),
+        format!("{:.0}", r.avg_dram_gap),
+    ]);
+    t.row(vec![
+        "controllers / warp".into(),
+        format!("{:.2}", r.avg_channels_touched),
+    ]);
+    t.row(vec![
+        "bus utilisation".into(),
+        format!("{:.1}%", r.bw_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "row-hit rate".into(),
+        format!("{:.1}%", r.row_hit_rate * 100.0),
+    ]);
+    t.row(vec![
+        "write intensity".into(),
+        format!("{:.1}%", r.write_intensity * 100.0),
+    ]);
+    t.row(vec![
+        "DRAM power (W)".into(),
+        format!("{:.1}", r.dram_power_w),
+    ]);
+    t.row(vec![
+        "L1 / L2 hit rate".into(),
+        format!(
+            "{:.1}% / {:.1}%",
+            r.l1_hit_rate * 100.0,
+            r.l2_hit_rate * 100.0
+        ),
+    ]);
     t.print();
 
     if let Some(path) = trace {

@@ -39,6 +39,7 @@ pub use ldsim_gpu as gpu;
 pub use ldsim_memctrl as memctrl;
 pub use ldsim_system as system;
 pub use ldsim_types as types;
+pub use ldsim_util as util;
 pub use ldsim_warpsched as warpsched;
 pub use ldsim_workloads as workloads;
 

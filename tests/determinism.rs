@@ -1,0 +1,69 @@
+//! Bit-exact reproducibility: the same (benchmark, seed, scheduler) must
+//! produce an identical [`RunResult`] — every counter, every float, and
+//! the stable event-trace hash — on every run. The simulator has no
+//! wall-clock, thread-order, or iteration-order dependence anywhere.
+
+use ldsim::prelude::*;
+use ldsim::system::Trace;
+
+fn traced_run(bench: &str, kind: SchedulerKind, seed: u64) -> (RunResult, Option<Trace>) {
+    let kernel = benchmark(bench, Scale::Tiny, seed).generate();
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_audit()
+        .with_trace();
+    Simulator::new(cfg, &kernel).run_traced()
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for (bench, kind, seed) in [
+        ("bfs", SchedulerKind::Gmc, 3u64),
+        ("spmv", SchedulerKind::Wg, 7),
+        ("sssp", SchedulerKind::WgM, 11),
+        ("nw", SchedulerKind::WgBw, 13),
+        ("kmeans", SchedulerKind::WgW, 17),
+    ] {
+        let (a, ta) = traced_run(bench, kind, seed);
+        let (b, tb) = traced_run(bench, kind, seed);
+        // RunResult implements PartialEq over every field, including the
+        // trace hash — one assert covers all statistics at once.
+        assert_eq!(a, b, "{bench}/{kind:?}/{seed}: results diverged");
+        assert!(a.trace_hash.is_some());
+        let (ta, tb) = (ta.unwrap(), tb.unwrap());
+        assert_eq!(
+            ta.stable_hash(),
+            tb.stable_hash(),
+            "{bench}/{kind:?}/{seed}: trace hashes diverged"
+        );
+        assert_eq!(ta.len(), tb.len());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let (a, _) = traced_run("bfs", SchedulerKind::Gmc, 1);
+    let (b, _) = traced_run("bfs", SchedulerKind::Gmc, 2);
+    assert_ne!(
+        a.trace_hash, b.trace_hash,
+        "different workloads must not hash-collide"
+    );
+}
+
+#[test]
+fn trace_hash_matches_result_field() {
+    let (r, t) = traced_run("spmv", SchedulerKind::WgW, 5);
+    assert_eq!(r.trace_hash, Some(t.unwrap().stable_hash()));
+}
+
+#[test]
+fn jsonl_export_is_stable() {
+    let (_, ta) = traced_run("nw", SchedulerKind::Gmc, 9);
+    let (_, tb) = traced_run("nw", SchedulerKind::Gmc, 9);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    ta.unwrap().write_jsonl(&mut a).unwrap();
+    tb.unwrap().write_jsonl(&mut b).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "JSONL export must be byte-identical across runs");
+}

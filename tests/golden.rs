@@ -8,14 +8,26 @@
 
 use ldsim::prelude::*;
 
+/// Golden runs execute with the protocol auditor armed: behavioural drift
+/// AND protocol-legality drift both fail here.
 fn run(bench: &str, kind: SchedulerKind) -> ldsim::system::RunResult {
     let kernel = benchmark(bench, Scale::Small, 1).generate();
     let cfg = SimConfig {
         instruction_limit: Some(kernel.total_instructions() * 7 / 10),
         ..SimConfig::default()
     }
-    .with_scheduler(kind);
-    Simulator::new(cfg, &kernel).run()
+    .with_scheduler(kind)
+    .with_audit();
+    let r = Simulator::new(cfg, &kernel).run();
+    assert!(
+        r.audit_commands > 0,
+        "{bench}/{kind:?}: auditor saw nothing"
+    );
+    assert_eq!(
+        r.audit_violations, 0,
+        "{bench}/{kind:?}: DRAM protocol violations"
+    );
+    r
 }
 
 fn within(name: &str, got: f64, lo: f64, hi: f64) {
@@ -42,9 +54,12 @@ fn golden_nw_write_path() {
     // Run nw to completion (not the 70% budget): write-backs only reach
     // DRAM once the L2 starts evicting dirty lines, late in the run.
     let kernel = benchmark("nw", Scale::Small, 1).generate();
-    let cfg = SimConfig::default().with_scheduler(SchedulerKind::WgW);
+    let cfg = SimConfig::default()
+        .with_scheduler(SchedulerKind::WgW)
+        .with_audit();
     let r = Simulator::new(cfg, &kernel).run();
     assert!(r.finished);
+    assert_eq!(r.audit_violations, 0, "nw/WgW: DRAM protocol violations");
     within("write_intensity", r.write_intensity, 0.005, 0.5);
     assert!(r.dram_writes > 0);
     within("divergent_frac", r.divergent_frac(), 0.3, 0.65);

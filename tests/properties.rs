@@ -1,127 +1,195 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-style tests: seeded randomised loops over the core invariants
+//! (the offline environment has no proptest, so cases are driven by the
+//! workspace PRNG — failures print the seed/case needed to reproduce).
 #![allow(clippy::field_reassign_with_default)]
 
 use ldsim::gddr5::Channel;
 use ldsim::types::addr::AddressMapper;
 use ldsim::types::clock::ClockDomain;
-use ldsim::types::config::{MemConfig, TimingParams};
+use ldsim::types::config::{MemConfig, PagePolicy, SimConfig, TimingParams};
 use ldsim::types::ids::BankId;
-use proptest::prelude::*;
+use ldsim::util::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rand_f64(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
 
-    /// Decoded fields always stay inside the configured geometry.
-    #[test]
-    fn decode_stays_in_bounds(addr in 0u64..(1 << 40)) {
-        let m = AddressMapper::new(&MemConfig::default(), 128);
+/// Decoded fields always stay inside the configured geometry.
+#[test]
+fn decode_stays_in_bounds() {
+    let m = AddressMapper::new(&MemConfig::default(), 128);
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    for case in 0..512 {
+        let addr = rng.gen_range(0u64..(1 << 40));
         let d = m.decode(addr);
-        prop_assert!((d.channel.0 as usize) < 6);
-        prop_assert!((d.bank.0 as usize) < 16);
-        prop_assert!(d.bank_group < 4);
-        prop_assert!(d.col < 16);
-        prop_assert!(d.row < 8192);
+        assert!((d.channel.0 as usize) < 6, "case {case}, addr {addr:#x}");
+        assert!((d.bank.0 as usize) < 16, "case {case}, addr {addr:#x}");
+        assert!(d.bank_group < 4, "case {case}, addr {addr:#x}");
+        assert!(d.col < 16, "case {case}, addr {addr:#x}");
+        assert!(d.row < 8192, "case {case}, addr {addr:#x}");
     }
+}
 
-    /// Addresses within one 256B block always decode identically except for
-    /// the line bit of the column.
-    #[test]
-    fn block_locality(base in 0u64..(1 << 32)) {
-        let m = AddressMapper::new(&MemConfig::default(), 128);
+/// Addresses within one 256B block always decode identically except for
+/// the line bit of the column.
+#[test]
+fn block_locality() {
+    let m = AddressMapper::new(&MemConfig::default(), 128);
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for case in 0..512 {
+        let base = rng.gen_range(0u64..(1 << 32));
         let a = m.decode(base & !0xFF);
         let b = m.decode((base & !0xFF) | 0x80);
-        prop_assert_eq!(a.channel, b.channel);
-        prop_assert_eq!(a.bank, b.bank);
-        prop_assert_eq!(a.row, b.row);
-        prop_assert_eq!(a.col ^ 1, b.col);
+        assert_eq!(a.channel, b.channel, "case {case}, base {base:#x}");
+        assert_eq!(a.bank, b.bank, "case {case}, base {base:#x}");
+        assert_eq!(a.row, b.row, "case {case}, base {base:#x}");
+        assert_eq!(a.col ^ 1, b.col, "case {case}, base {base:#x}");
     }
+}
 
-    /// Every line returned by same_row_lines really shares (channel, bank,
-    /// row) with the probe address.
-    #[test]
-    fn same_row_lines_sound(addr in 0u64..(1 << 34)) {
-        let m = AddressMapper::new(&MemConfig::default(), 128);
+/// Every line returned by same_row_lines really shares (channel, bank,
+/// row) with the probe address.
+#[test]
+fn same_row_lines_sound() {
+    let m = AddressMapper::new(&MemConfig::default(), 128);
+    let mut rng = StdRng::seed_from_u64(0x5A3E);
+    for case in 0..256 {
+        let addr = rng.gen_range(0u64..(1 << 34));
         let d = m.decode(addr);
         for a in m.same_row_lines(addr) {
             let e = m.decode(a);
-            prop_assert!(e.same_row(&d));
+            assert!(e.same_row(&d), "case {case}, addr {addr:#x}");
         }
     }
+}
 
-    /// The DRAM channel never deadlocks and never violates legality when a
-    /// greedy driver issues random-but-legal traffic: every request stream
-    /// eventually completes and data-bus busy time matches the column count.
-    #[test]
-    fn channel_serves_random_traffic(
-        ops in proptest::collection::vec((0u8..16, 0u32..32, prop::bool::ANY), 1..60)
-    ) {
-        let mem = MemConfig::default();
-        let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+/// The DRAM channel never deadlocks and never violates legality when a
+/// greedy driver issues random-but-legal traffic: every request stream
+/// eventually completes, data-bus busy time matches the column count, and
+/// the independent protocol auditor sees every command and zero
+/// violations.
+#[test]
+fn channel_serves_random_traffic_audit_clean() {
+    let mem = MemConfig::default();
+    let t = TimingParams::default().in_cycles(ClockDomain::GDDR5);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..128 {
         let mut ch = Channel::new(&mem, t);
+        ch.enable_audit();
+        let n_ops = rng.gen_range(1usize..60);
         let mut served = 0u64;
         let mut now = 0u64;
-        for (bank, row, is_write) in ops.iter().copied() {
-            let bank = BankId(bank);
+        for _ in 0..n_ops {
+            let bank = BankId(rng.gen_range(0u8..16));
+            let row = rng.gen_range(0u32..32);
+            let is_write = rng.gen_bool(0.5);
             // Close-if-needed, open, access — each step waits for legality.
             if ch.bank(bank).open_row() != Some(row) {
                 if ch.bank(bank).is_open() {
-                    while !ch.can_pre(bank, now) { now += 1; }
+                    while !ch.can_pre(bank, now) {
+                        now += 1;
+                    }
                     ch.issue_pre(bank, now);
                     now += 1;
                 }
-                while !ch.can_act(bank, now) { now += 1; }
+                while !ch.can_act(bank, now) {
+                    now += 1;
+                }
                 ch.issue_act(bank, row, now);
                 now += 1;
             }
             if is_write {
-                while !ch.can_write(bank, now) { now += 1; }
+                while !ch.can_write(bank, now) {
+                    now += 1;
+                }
                 ch.issue_write(bank, now);
             } else {
-                while !ch.can_read(bank, now) { now += 1; }
+                while !ch.can_read(bank, now) {
+                    now += 1;
+                }
                 ch.issue_read(bank, now);
             }
             now += 1;
             served += 1;
             // Liveness bound: no single access can take longer than a few
             // tRC windows under a single-stream driver.
-            prop_assert!(now < 1_000 + served * (t.t_rc + t.t_faw), "stalled at {now}");
+            assert!(
+                now < 1_000 + served * (t.t_rc + t.t_faw),
+                "case {case}: stalled at {now}"
+            );
         }
-        prop_assert_eq!(ch.stats.reads + ch.stats.writes, served);
-        prop_assert_eq!(
+        assert_eq!(ch.stats.reads + ch.stats.writes, served, "case {case}");
+        assert_eq!(
             ch.stats.data_bus_busy,
-            served * t.t_burst * mem.bursts_per_access
+            served * t.t_burst * mem.bursts_per_access,
+            "case {case}"
+        );
+        assert!(ch.audit_observed() >= served, "case {case}");
+        assert_eq!(
+            ch.audit_violation_count(),
+            0,
+            "case {case}: {:?}",
+            ch.audit_violations().unwrap()
         );
     }
+}
 
-    /// MERB tables are monotone non-increasing in bank count for any
-    /// plausible timing, and never exceed the 5-bit counter limit.
-    #[test]
-    fn merb_monotone(
-        rp in 8.0f64..20.0,
-        rcd in 8.0f64..20.0,
-        rtp in 1.0f64..4.0,
-        faw in 15.0f64..40.0,
-        rrd in 3.0f64..10.0,
-    ) {
+/// MERB tables are monotone non-increasing in bank count for any
+/// plausible timing, and never exceed the 5-bit counter limit.
+#[test]
+fn merb_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x3E2B);
+    for case in 0..128 {
         let mut tp = TimingParams::default();
-        tp.t_rp_ns = rp;
-        tp.t_rcd_ns = rcd;
-        tp.t_rtp_ns = rtp;
-        tp.t_faw_ns = faw;
-        tp.t_rrd_ns = rrd;
+        tp.t_rp_ns = rand_f64(&mut rng, 8.0, 20.0);
+        tp.t_rcd_ns = rand_f64(&mut rng, 8.0, 20.0);
+        tp.t_rtp_ns = rand_f64(&mut rng, 1.0, 4.0);
+        tp.t_faw_ns = rand_f64(&mut rng, 15.0, 40.0);
+        tp.t_rrd_ns = rand_f64(&mut rng, 3.0, 10.0);
         let m = ldsim::gddr5::MerbTable::from_timing(&tp, ClockDomain::GDDR5, 16);
         for b in 1..16 {
-            prop_assert!(m.get(b) >= m.get(b + 1));
-            prop_assert!(m.get(b) <= 31);
+            assert!(m.get(b) >= m.get(b + 1), "case {case}, banks {b}");
+            assert!(m.get(b) <= 31, "case {case}, banks {b}");
+        }
+    }
+}
+
+/// Full-system command pressure never trips the auditor: every paper
+/// scheduler, under both page policies, runs random small irregular
+/// kernels violation-free.
+#[test]
+fn schedulers_and_page_policies_audit_clean() {
+    use ldsim::system::Simulator;
+    use ldsim::workloads::{benchmark, Scale};
+
+    for (i, &kind) in ldsim::system::runner::PAPER_SCHEDULERS.iter().enumerate() {
+        for policy in [PagePolicy::Open, PagePolicy::Closed] {
+            let bench = if i % 2 == 0 { "bfs" } else { "spmv" };
+            let kernel = benchmark(bench, Scale::Tiny, 40 + i as u64).generate();
+            let mut cfg = SimConfig::default().with_scheduler(kind).with_audit();
+            cfg.mem.page_policy = policy;
+            let r = Simulator::new(cfg, &kernel).run();
+            assert!(r.finished, "{kind:?}/{policy:?} hit the cycle limit");
+            assert!(r.audit_commands > 0, "{kind:?}/{policy:?}: auditor idle");
+            assert_eq!(
+                r.audit_violations, 0,
+                "{kind:?}/{policy:?}: protocol violations"
+            );
+            assert!(
+                r.conserves_requests(),
+                "{kind:?}/{policy:?}: {} requests vs {} responses",
+                r.mem_read_requests,
+                r.mem_read_responses
+            );
         }
     }
 }
 
 mod scheduler_props {
-    use super::*;
     use ldsim::prelude::*;
     use ldsim::types::ids::LaneMask;
     use ldsim::types::kernel::{Instruction, KernelProgram, WarpProgram};
+    use ldsim::util::StdRng;
 
     /// Build a random-but-valid kernel from a compact seed description.
     fn kernel_from(spec: &[(u8, u8)]) -> KernelProgram {
@@ -155,13 +223,16 @@ mod scheduler_props {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// No scheduler loses or duplicates work: same retired instruction
-        /// count for every policy on any kernel, and every run terminates.
-        #[test]
-        fn no_scheduler_loses_work(spec in proptest::collection::vec((0u8..8, 0u8..8), 2..10)) {
+    /// No scheduler loses or duplicates work: same retired instruction
+    /// count for every policy on any kernel, and every run terminates.
+    #[test]
+    fn no_scheduler_loses_work() {
+        let mut rng = StdRng::seed_from_u64(0x70D0);
+        for case in 0..12 {
+            let n = rng.gen_range(2usize..10);
+            let spec: Vec<(u8, u8)> = (0..n)
+                .map(|_| (rng.gen_range(0u8..8), rng.gen_range(0u8..8)))
+                .collect();
             let kernel = kernel_from(&spec);
             let total = kernel.total_instructions();
             let mut counts = Vec::new();
@@ -176,11 +247,14 @@ mod scheduler_props {
                 let mut cfg = SimConfig::default().with_scheduler(k);
                 cfg.max_cycles = 3_000_000;
                 let r = Simulator::new(cfg, &kernel).run();
-                prop_assert!(r.finished, "{k:?} hit the cycle limit");
-                prop_assert_eq!(r.instructions, total);
+                assert!(r.finished, "case {case}: {k:?} hit the cycle limit");
+                assert_eq!(r.instructions, total, "case {case}: {k:?}");
                 counts.push(r.loads);
             }
-            prop_assert!(counts.windows(2).all(|w| w[0] == w[1]));
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "case {case}: load counts diverged: {counts:?}"
+            );
         }
     }
 }
