@@ -124,7 +124,33 @@ fn bench_full_system() {
     }
 }
 
+/// Wall-clock win of event-horizon fast-forwarding on low-occupancy
+/// irregular workloads: the identical simulation with the skipping loop
+/// (the default) vs the cycle-by-cycle reference loop. Results are
+/// bit-exact; only time-to-answer differs.
+fn bench_fast_forward() {
+    for (bench_name, scale) in [
+        ("nw", Scale::Tiny),
+        ("sad", Scale::Tiny),
+        ("bfs", Scale::Tiny),
+    ] {
+        let kernel = benchmark(bench_name, scale, 5).generate();
+        let on = bench(&format!("fast_forward/{bench_name}/on"), || {
+            let cfg = SimConfig::default().with_scheduler(SchedulerKind::Gmc);
+            Simulator::new(cfg, &kernel).run().cycles
+        });
+        let off = bench(&format!("fast_forward/{bench_name}/off"), || {
+            let cfg = SimConfig::default()
+                .with_scheduler(SchedulerKind::Gmc)
+                .with_fast_forward(false);
+            Simulator::new(cfg, &kernel).run().cycles
+        });
+        println!("  fast-forward speedup on {bench_name}: {:.2}x", off / on);
+    }
+}
+
 fn main() {
     bench_policy_decisions();
     bench_full_system();
+    bench_fast_forward();
 }

@@ -6,7 +6,7 @@
 //! * **WG-S** (Section VIII, the paper's future work): WG-W that also
 //!   prioritises warp-groups whose lines are shared by multiple warps.
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, irregular_names, run_grid};
 use ldsim_system::table::{f3, Table};
 use ldsim_types::config::SchedulerKind;
@@ -35,7 +35,7 @@ fn main() {
         .iter()
         .enumerate()
         {
-            let x = cell(&grid, b, *k).ipc() / base;
+            let x = speedup(b, cell(&grid, b, *k).ipc(), base);
             cols[i].push(x);
             row.push(f3(x));
         }
@@ -51,6 +51,8 @@ fn main() {
     t.print();
     dump_json(
         "extensions",
+        scale,
+        seed,
         &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
     );
 }

@@ -34,5 +34,5 @@ fn main() {
     ]);
     println!("Fig. 2 — coalescing efficiency (irregular suite, GMC baseline)\n");
     t.print();
-    dump_json("fig02", &results.iter().collect::<Vec<_>>());
+    dump_json("fig02", scale, seed, &results.iter().collect::<Vec<_>>());
 }

@@ -45,5 +45,5 @@ fn main() {
     ]);
     println!("Fig. 3 — DRAM latency divergence under the GMC baseline\n");
     t.print();
-    dump_json("fig03", &results.iter().collect::<Vec<_>>());
+    dump_json("fig03", scale, seed, &results.iter().collect::<Vec<_>>());
 }

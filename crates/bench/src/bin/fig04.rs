@@ -5,7 +5,7 @@
 //! Divergence* (all of a warp's requests return right after the first;
 //! paper: +43%).
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{irregular_names, run_one, run_one_with};
 use ldsim_system::table::{f2, Table};
 use ldsim_types::config::SchedulerKind;
@@ -22,8 +22,8 @@ fn main() {
             c.perfect_coalescing = true;
         });
         let zd = run_one(b, scale, seed, SchedulerKind::ZeroDivergence);
-        let pcx = pc.ipc() / base.ipc();
-        let zdx = zd.ipc() / base.ipc();
+        let pcx = speedup(b, pc.ipc(), base.ipc());
+        let zdx = speedup(b, zd.ipc(), base.ipc());
         pcs.push(pcx);
         zds.push(zdx);
         t.row(vec![b.to_string(), f2(pcx), f2(zdx)]);
@@ -36,5 +36,5 @@ fn main() {
     ]);
     println!("Fig. 4 — upper bounds: speedup over GMC\n");
     t.print();
-    dump_json("fig04", &results.iter().collect::<Vec<_>>());
+    dump_json("fig04", scale, seed, &results.iter().collect::<Vec<_>>());
 }

@@ -34,5 +34,10 @@ fn main() {
     }
     println!("Fig. 7 — latency divergence vs bandwidth (irregular suite means)\n");
     t.print();
-    dump_json("fig07", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "fig07",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

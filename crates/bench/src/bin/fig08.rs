@@ -5,7 +5,7 @@
 //! +10.1%. (See EXPERIMENTS.md for the calibration discussion: this
 //! reproduction preserves the orderings with attenuated magnitudes.)
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, irregular_names, run_grid, PAPER_SCHEDULERS};
 use ldsim_system::table::{f3, Table};
 use ldsim_types::config::SchedulerKind;
@@ -29,7 +29,7 @@ fn main() {
         .iter()
         .enumerate()
         {
-            let x = cell(&grid, b, *k).ipc() / base;
+            let x = speedup(b, cell(&grid, b, *k).ipc(), base);
             per_sched[i].push(x);
             row.push(f3(x));
         }
@@ -44,5 +44,10 @@ fn main() {
     ]);
     println!("Fig. 8 — IPC normalised to GMC (irregular suite)\n");
     t.print();
-    dump_json("fig08", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "fig08",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

@@ -42,5 +42,10 @@ fn main() {
             (mean(&sums[i]) / base - 1.0) * 100.0
         );
     }
-    dump_json("fig09", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "fig09",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

@@ -37,5 +37,10 @@ fn main() {
     ]);
     println!("Fig. 10 — first-to-last DRAM service gap (cycles)\n");
     t.print();
-    dump_json("fig10", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "fig10",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

@@ -34,5 +34,10 @@ fn main() {
     ]);
     println!("Fig. 11 — DRAM data-bus utilisation\n");
     t.print();
-    dump_json("fig11", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "fig11",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

@@ -32,5 +32,5 @@ fn main() {
     }
     println!("Fig. 12 — write intensity and drain-stall composition (WG-Bw)\n");
     t.print();
-    dump_json("fig12", &results.iter().collect::<Vec<_>>());
+    dump_json("fig12", scale, seed, &results.iter().collect::<Vec<_>>());
 }

@@ -5,7 +5,7 @@
 //! requests *across* threads per bank for fairness, the opposite of
 //! warp-group batching. This binary makes that comparison quantitative.
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, irregular_names, run_grid};
 use ldsim_system::table::{f2, f3, Table};
 use ldsim_types::config::SchedulerKind;
@@ -28,8 +28,8 @@ fn main() {
         let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
         let p = cell(&grid, b, SchedulerKind::ParBs);
         let w = cell(&grid, b, SchedulerKind::WgW);
-        pb.push(p.ipc() / base);
-        wg.push(w.ipc() / p.ipc());
+        pb.push(speedup(b, p.ipc(), base));
+        wg.push(speedup(b, w.ipc(), p.ipc()));
         t.row(vec![
             b.to_string(),
             f3(p.ipc() / base),
@@ -47,5 +47,10 @@ fn main() {
     ]);
     println!("Section VI-C.3 (extension) — PAR-BS vs GMC and WG-W\n");
     t.print();
-    dump_json("parbs", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "parbs",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

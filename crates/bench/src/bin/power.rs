@@ -48,5 +48,10 @@ fn main() {
         "mean power change:    {:+.1}% (paper: +1.8%)",
         (mean(&p1) / mean(&p0) - 1.0) * 100.0
     );
-    dump_json("power", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "power",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

@@ -3,7 +3,7 @@
 //! The six regular, bandwidth-sensitive benchmarks under WG-W vs GMC.
 //! Paper: +1.8% on average, no application slowed down.
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, regular_names, run_grid};
 use ldsim_system::table::{f3, pct, Table};
 use ldsim_types::config::SchedulerKind;
@@ -18,7 +18,7 @@ fn main() {
     let mut xs = Vec::new();
     for b in &benches {
         let base = cell(&grid, b, SchedulerKind::Gmc);
-        let x = cell(&grid, b, SchedulerKind::WgW).ipc() / base.ipc();
+        let x = speedup(b, cell(&grid, b, SchedulerKind::WgW).ipc(), base.ipc());
         xs.push(x);
         t.row(vec![b.to_string(), f3(x), pct(base.bw_utilization)]);
     }
@@ -31,6 +31,8 @@ fn main() {
     t.print();
     dump_json(
         "regular",
+        scale,
+        seed,
         &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
     );
 }

@@ -4,7 +4,7 @@
 //! (best IPC wins, as in the paper) and the best-alpha IPC is compared with
 //! GMC and WG-W. Paper: SBWAS +2.51% over GMC; WG-W +7.3% over SBWAS.
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, irregular_names, run_grid};
 use ldsim_system::table::{f3, Table};
 use ldsim_types::config::SchedulerKind;
@@ -34,8 +34,8 @@ fn main() {
             }
         }
         let wgw = cell(&grid, b, SchedulerKind::WgW).ipc();
-        sb.push(best / base);
-        wg.push(wgw / best);
+        sb.push(speedup(b, best, base));
+        wg.push(speedup(b, wgw, best));
         t.row(vec![
             b.to_string(),
             format!("0.{}", best_a as u32 * 25),
@@ -51,5 +51,10 @@ fn main() {
     ]);
     println!("Section VI-C.1 — SBWAS with profiled alpha vs GMC and WG-W\n");
     t.print();
-    dump_json("sbwas", &grid.iter().map(|c| &c.result).collect::<Vec<_>>());
+    dump_json(
+        "sbwas",
+        scale,
+        seed,
+        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
+    );
 }

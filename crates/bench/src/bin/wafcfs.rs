@@ -4,7 +4,7 @@
 //! measures an 11.2% slowdown: in-order warp-group service achieves almost
 //! no row hits on irregular access patterns.
 
-use ldsim_bench::{cli, dump_json};
+use ldsim_bench::{cli, dump_json, speedup};
 use ldsim_system::runner::{cell, irregular_names, run_grid};
 use ldsim_system::table::{f3, pct, Table};
 use ldsim_types::config::SchedulerKind;
@@ -25,7 +25,7 @@ fn main() {
     for b in &benches {
         let base = cell(&grid, b, SchedulerKind::Gmc);
         let w = cell(&grid, b, SchedulerKind::Wafcfs);
-        xs.push(w.ipc() / base.ipc());
+        xs.push(speedup(b, w.ipc(), base.ipc()));
         t.row(vec![
             b.to_string(),
             f3(w.ipc() / base.ipc()),
@@ -43,6 +43,8 @@ fn main() {
     t.print();
     dump_json(
         "wafcfs",
+        scale,
+        seed,
         &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
     );
 }

@@ -6,8 +6,9 @@
 //! `--trace` switches (which arm the DRAM protocol conformance auditor and
 //! the event-trace recorder for every run the binary performs); results
 //! print as text tables (the same rows/series the paper plots) and are also
-//! appended as JSON lines to `results/<figure>.jsonl` for EXPERIMENTS.md
-//! provenance.
+//! written as JSON lines to `results/<figure>.jsonl` — one file per figure,
+//! rewritten on every invocation and stamped with the scale and seed — for
+//! EXPERIMENTS.md provenance.
 
 use ldsim_system::{RunOpts, RunResult};
 use ldsim_workloads::Scale;
@@ -46,22 +47,46 @@ pub fn cli() -> (Scale, u64) {
     (scale, seed)
 }
 
-/// Append run results as JSON lines under `results/`.
-pub fn dump_json(figure: &str, results: &[&RunResult]) {
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
+/// Write run results as JSON lines to `results/<figure>.jsonl`.
+///
+/// The file is rewritten (not appended) on every invocation, so the rows
+/// always describe exactly one run of the binary, and every row is stamped
+/// with the figure name, scale, and seed that produced it — without the
+/// stamp, mixed-scale rows from successive invocations are
+/// indistinguishable. I/O failures panic with the offending path: silently
+/// dropping provenance is worse than aborting a finished experiment.
+pub fn dump_json(figure: &str, scale: Scale, seed: u64, results: &[&RunResult]) {
+    dump_json_to(
+        std::path::Path::new("results"),
+        figure,
+        scale,
+        seed,
+        results,
+    );
+}
+
+/// [`dump_json`] with an explicit output directory (separated for tests).
+pub fn dump_json_to(
+    dir: &std::path::Path,
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    results: &[&RunResult],
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        panic!("cannot create {}: {e}", dir.display());
     }
     let path = dir.join(format!("{figure}.jsonl"));
-    let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-    else {
-        return;
-    };
+    let mut f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
     for r in results {
-        let _ = writeln!(f, "{}", r.to_json());
+        let row = r.to_json();
+        debug_assert!(row.starts_with('{'));
+        let stamped = format!(
+            "{{\"figure\":\"{figure}\",\"scale\":\"{scale:?}\",\"seed\":{seed},{}",
+            &row[1..]
+        );
+        writeln!(f, "{stamped}").unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     }
 }
 
@@ -76,13 +101,21 @@ pub mod microbench {
     const BUDGET: f64 = 0.25;
 
     /// Time `f`, print a `name  iters  ns/iter` line, and return ns/iter.
+    /// Calibration uses the median of three timed calls, so one
+    /// scheduling-noise outlier cannot blow the iteration count (and the
+    /// measurement budget) up or down by orders of magnitude.
     pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
         for _ in 0..3 {
             black_box(f());
         }
-        let t0 = Instant::now();
-        black_box(f());
-        let per = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut samples = [0.0f64; 3];
+        for s in &mut samples {
+            let t0 = Instant::now();
+            black_box(f());
+            *s = t0.elapsed().as_secs_f64().max(1e-9);
+        }
+        samples.sort_by(f64::total_cmp);
+        let per = samples[1];
         let iters = ((BUDGET / per).ceil() as u64).clamp(5, 5_000_000);
         let start = Instant::now();
         for _ in 0..iters {
@@ -94,10 +127,33 @@ pub mod microbench {
     }
 }
 
-/// Geometric-mean speedup of `xs` over `base` (paired by index).
-pub fn gmean_speedup(xs: &[f64], base: &[f64]) -> f64 {
+/// The validated speedup ratio `x / base`, attributed to `name`: panics
+/// naming the offending benchmark if either side is non-positive or
+/// non-finite. A zero-IPC baseline (e.g. a run cut off before retiring
+/// anything) would otherwise produce an infinite ratio that poisons every
+/// geometric mean downstream with no hint of which benchmark broke.
+pub fn speedup(name: &str, x: f64, base: f64) -> f64 {
+    assert!(
+        base.is_finite() && base > 0.0,
+        "speedup: benchmark '{name}' has invalid baseline {base}"
+    );
+    assert!(
+        x.is_finite() && x > 0.0,
+        "speedup: benchmark '{name}' has invalid value {x}"
+    );
+    x / base
+}
+
+/// Geometric-mean speedup of `xs` over `base` (paired by index), each pair
+/// validated via [`speedup`] under the matching name.
+pub fn gmean_speedup(names: &[&str], xs: &[f64], base: &[f64]) -> f64 {
+    assert_eq!(names.len(), xs.len());
     assert_eq!(xs.len(), base.len());
-    let ratios: Vec<f64> = xs.iter().zip(base).map(|(x, b)| x / b).collect();
+    let ratios: Vec<f64> = names
+        .iter()
+        .zip(xs.iter().zip(base))
+        .map(|(n, (&x, &b))| speedup(n, x, b))
+        .collect();
     ldsim_types::stats::geomean(&ratios)
 }
 
@@ -107,9 +163,47 @@ mod tests {
 
     #[test]
     fn gmean_speedup_pairs() {
-        let s = gmean_speedup(&[2.0, 2.0], &[1.0, 1.0]);
+        let s = gmean_speedup(&["a", "b"], &[2.0, 2.0], &[1.0, 1.0]);
         assert!((s - 2.0).abs() < 1e-12);
-        let s = gmean_speedup(&[4.0, 1.0], &[1.0, 1.0]);
+        let s = gmean_speedup(&["a", "b"], &[4.0, 1.0], &[1.0, 1.0]);
         assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cfd")]
+    fn zero_baseline_names_the_benchmark() {
+        gmean_speedup(&["bfs", "cfd"], &[2.0, 2.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmv")]
+    fn non_finite_value_names_the_benchmark() {
+        speedup("spmv", f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn dump_json_rewrites_and_stamps() {
+        let dir = std::env::temp_dir().join(format!("ldsim-dump-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r1 = RunResult {
+            benchmark: "bfs".into(),
+            cycles: 10,
+            ..Default::default()
+        };
+        let r2 = RunResult {
+            benchmark: "spmv".into(),
+            cycles: 20,
+            ..Default::default()
+        };
+        dump_json_to(&dir, "figX", Scale::Tiny, 3, &[&r1, &r2]);
+        // A second invocation must replace the file, not append to it.
+        dump_json_to(&dir, "figX", Scale::Small, 9, &[&r2]);
+        let text = std::fs::read_to_string(dir.join("figX.jsonl")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "stale rows survived: {text}");
+        assert!(lines[0].starts_with("{\"figure\":\"figX\",\"scale\":\"Small\",\"seed\":9,"));
+        assert!(lines[0].contains("\"benchmark\":\"spmv\""));
+        assert!(lines[0].ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

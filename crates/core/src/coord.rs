@@ -70,6 +70,13 @@ impl CoordNetwork {
     pub fn pending(&self) -> usize {
         self.in_flight.len()
     }
+
+    /// Earliest cycle a broadcast becomes deliverable (broadcasts are
+    /// queued in monotone `deliver_at` order). `None` when nothing is in
+    /// flight.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.in_flight.front().map(|f| f.deliver_at.max(now))
+    }
 }
 
 #[cfg(test)]

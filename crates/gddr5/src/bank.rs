@@ -68,6 +68,49 @@ impl Bank {
         matches!(self.state, BankState::Active { .. })
     }
 
+    /// Earliest cycle an ACT could be legal from this bank's perspective
+    /// (None while a row is open — a PRE must land first).
+    #[inline]
+    pub fn act_ready_at(&self) -> Option<Cycle> {
+        if self.is_open() {
+            None
+        } else {
+            Some(self.act_ready)
+        }
+    }
+
+    /// Earliest cycle a PRE could be legal (None while precharged).
+    #[inline]
+    pub fn pre_ready_at(&self) -> Option<Cycle> {
+        if self.is_open() {
+            Some(self.pre_ready)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest cycle a column READ could be legal from this bank's
+    /// perspective (None while precharged).
+    #[inline]
+    pub fn rd_ready_at(&self) -> Option<Cycle> {
+        if self.is_open() {
+            Some(self.rd_ready)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest cycle a column WRITE could be legal from this bank's
+    /// perspective (None while precharged).
+    #[inline]
+    pub fn wr_ready_at(&self) -> Option<Cycle> {
+        if self.is_open() {
+            Some(self.wr_ready)
+        } else {
+            None
+        }
+    }
+
     /// Apply an ACT at `now` for `row`.
     pub fn do_act(&mut self, now: Cycle, row: u32, t: &TimingCycles) {
         debug_assert!(!self.is_open(), "ACT to open bank");

@@ -388,6 +388,57 @@ impl Channel {
         }
     }
 
+    /// Earliest cycle `cmd` becomes legal, assuming no other command is
+    /// issued in between ([`Cycle::MAX`] when the bank is in the wrong
+    /// row-buffer state, e.g. ACT to an open bank). This is the exact
+    /// inverse of [`Self::can_issue`]: for any returned `r < Cycle::MAX`,
+    /// `can_issue(cmd, t)` is false for `t < r` and true at `t == r`.
+    pub fn ready_cycle(&self, cmd: &Command) -> Cycle {
+        match *cmd {
+            Command::Act { bank, .. } => {
+                let Some(mut r) = self.bank(bank).act_ready_at() else {
+                    return Cycle::MAX;
+                };
+                if let Some(last) = self.last_act {
+                    r = r.max(last + self.t.t_rrd);
+                }
+                if self.act_window_len == 4 {
+                    r = r.max(self.act_window[0] + self.t.t_faw);
+                }
+                r
+            }
+            Command::Pre { bank } => self.bank(bank).pre_ready_at().unwrap_or(Cycle::MAX),
+            Command::Read { bank, .. } => {
+                let Some(r) = self.bank(bank).rd_ready_at() else {
+                    return Cycle::MAX;
+                };
+                r.max(self.col_ready(bank))
+                    .max(self.last_write_data_end + self.t.t_wtr)
+                    .max(self.bus_free.saturating_sub(self.t.t_cas))
+            }
+            Command::Write { bank, .. } => {
+                let Some(r) = self.bank(bank).wr_ready_at() else {
+                    return Cycle::MAX;
+                };
+                r.max(self.col_ready(bank))
+                    .max((self.last_read_data_end + self.t.t_rtrs).saturating_sub(self.t.t_wl))
+                    .max(self.bus_free.saturating_sub(self.t.t_wl))
+            }
+        }
+    }
+
+    /// Earliest cycle [`Self::try_fast_read`] would succeed.
+    #[inline]
+    pub fn fast_read_ready(&self) -> Cycle {
+        self.bus_free.saturating_sub(self.t.t_cas)
+    }
+
+    /// Next cycle an all-bank refresh falls due.
+    #[inline]
+    pub fn next_refresh(&self) -> Cycle {
+        self.next_refresh
+    }
+
     /// Is an all-bank refresh due (tREFI elapsed since the last one)?
     pub fn refresh_due(&self, now: Cycle) -> bool {
         now >= self.next_refresh
@@ -772,6 +823,67 @@ mod tests {
         assert_eq!(log[4].kind, crate::audit::CmdKind::RefAb);
         // Log is drained, not disabled.
         assert!(c.take_cmd_log().is_empty());
+    }
+
+    #[test]
+    fn ready_cycle_is_exact_inverse_of_can_issue() {
+        // Drive a mixed legal sequence; after every step, ready_cycle must
+        // be the first cycle can_issue turns true for every command shape.
+        let mut c = ch2();
+        let check = |c: &Channel, now: Cycle| {
+            for b in [0u8, 1, 4, 9] {
+                let bank = BankId(b);
+                for cmd in [
+                    Command::Act { bank, row: 3 },
+                    Command::Pre { bank },
+                    Command::Read { bank, req: 1 },
+                    Command::Write { bank, req: 2 },
+                ] {
+                    let r = c.ready_cycle(&cmd);
+                    if r == Cycle::MAX {
+                        // Wrong bank state: never legal until another
+                        // command changes it.
+                        assert!(!c.can_issue(&cmd, now + 10_000), "{cmd:?}");
+                        continue;
+                    }
+                    if r > 0 {
+                        assert!(!c.can_issue(&cmd, r - 1), "{cmd:?} early at {r}");
+                    }
+                    assert!(c.can_issue(&cmd, r), "{cmd:?} not legal at {r}");
+                }
+            }
+        };
+        check(&c, 0);
+        let mut now = 0;
+        for b in [0u8, 1, 4] {
+            now = now.max(c.ready_cycle(&Command::Act {
+                bank: BankId(b),
+                row: 1,
+            }));
+            c.issue_act(BankId(b), 1, now);
+            check(&c, now);
+        }
+        now = now.max(c.ready_cycle(&Command::Read {
+            bank: BankId(0),
+            req: 1,
+        }));
+        c.issue_read(BankId(0), now);
+        check(&c, now);
+        now = now.max(c.ready_cycle(&Command::Write {
+            bank: BankId(4),
+            req: 2,
+        }));
+        c.issue_write(BankId(4), now);
+        check(&c, now);
+        now = now.max(c.ready_cycle(&Command::Pre { bank: BankId(1) }));
+        c.issue_pre(BankId(1), now);
+        check(&c, now);
+        // Fast-read horizon agrees with try_fast_read.
+        let fr = c.fast_read_ready();
+        if fr > 0 {
+            assert!(c.clone().try_fast_read(fr - 1).is_none());
+        }
+        assert!(c.clone().try_fast_read(fr).is_some());
     }
 
     #[test]

@@ -290,6 +290,60 @@ impl Sm {
         }
     }
 
+    /// Earliest cycle [`Self::tick`] can change warp state: `now` while
+    /// staged requests are draining, the earliest `Busy` expiry, or
+    /// `port_free` if any warp is ready to issue. `None` when every warp is
+    /// blocked on memory or done — wake-ups then come from
+    /// [`Self::accept_response`], which other components' events drive.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.warps.is_empty() {
+            return None;
+        }
+        if !self.stage_q.is_empty() {
+            return Some(now);
+        }
+        let mut ev: Option<Cycle> = None;
+        let mut any_ready = false;
+        for w in &self.warps {
+            match w.state {
+                WState::Busy(until) => {
+                    let c = until.max(now);
+                    ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
+                }
+                WState::Ready => any_ready = true,
+                WState::WaitMem | WState::Done => {}
+            }
+        }
+        if any_ready {
+            let c = self.port_free.max(now);
+            ev = Some(ev.map_or(c, |e| e.min(c)));
+        }
+        ev
+    }
+
+    /// Account for the cycles `[now, target)` being skipped: [`Self::tick`]
+    /// increments `port_busy_cycles` whenever the port is occupied and
+    /// `mem_idle_cycles` whenever the port is free but every warp is blocked
+    /// on memory — both are pure functions of state that is frozen across a
+    /// skip (no `Busy` warp expires before `target` by construction), so
+    /// they are replayed here in closed form.
+    pub fn skip(&mut self, now: Cycle, target: Cycle) {
+        if self.warps.is_empty() {
+            return;
+        }
+        debug_assert!(self.stage_q.is_empty(), "skip with staged requests");
+        let pb = self.port_free.clamp(now, target) - now;
+        self.port_busy_cycles += pb;
+        if !self.done()
+            && self
+                .warps
+                .iter()
+                .all(|w| matches!(w.state, WState::WaitMem | WState::Done))
+        {
+            self.mem_idle_cycles += (target - now) - pb;
+        }
+    }
+
     /// Attempt to issue the next instruction of warp `wi`. Returns false if
     /// blocked on resources (the scheduler then tries another warp).
     fn try_issue(
@@ -847,6 +901,78 @@ mod tests {
             sm.tick(now, 32, &mut out);
         }
         assert!(sm.mem_idle_cycles >= 19, "idle {}", sm.mem_idle_cycles);
+    }
+
+    #[test]
+    fn next_event_tracks_busy_and_port() {
+        let mut sm = mk_sm(vec![
+            WarpProgram::new(vec![I::Compute(10)]),
+            WarpProgram::new(vec![I::Compute(1)]),
+        ]);
+        let mut out = Vec::new();
+        assert_eq!(sm.next_event(0), Some(0), "ready warp, free port");
+        sm.tick(0, 8, &mut out); // warp 0 busy + port occupied until 10
+                                 // Warp 1 is Ready but the port is busy: next event is port_free
+                                 // (=10), which coincides with warp 0's wake-up.
+        assert_eq!(sm.next_event(1), Some(10));
+        sm.tick(10, 8, &mut out);
+        sm.tick(11, 8, &mut out);
+        sm.tick(12, 8, &mut out);
+        assert!(sm.done());
+        assert_eq!(sm.next_event(13), None, "done SM has no events");
+    }
+
+    #[test]
+    fn next_event_none_while_waiting_on_memory() {
+        let mut sm = mk_sm(vec![WarpProgram::new(vec![I::load(gather(0, 4096))])]);
+        let mut out = Vec::new();
+        sm.tick(0, 32, &mut out);
+        assert_eq!(sm.next_event(1), None, "all warps blocked on memory");
+        sm.accept_response(
+            SmResponse {
+                line_addr: out[0].line_addr,
+                from_dram: true,
+                dram_cycle: 50,
+            },
+            50,
+        );
+        // Still 31 lines outstanding: no SM-local event.
+        assert_eq!(sm.next_event(51), None);
+    }
+
+    #[test]
+    fn skip_matches_explicit_ticks_cycle_counters() {
+        // One warp blocked on memory: ticking T idle cycles and skipping T
+        // cycles must accrue identical port-busy / mem-idle statistics.
+        let mk = || mk_sm(vec![WarpProgram::new(vec![I::load(gather(0, 4096))])]);
+        let mut ticked = mk();
+        let mut skipped = mk();
+        let mut out = Vec::new();
+        ticked.tick(0, 32, &mut out);
+        out.clear();
+        skipped.tick(0, 32, &mut out);
+        for now in 1..100u64 {
+            ticked.tick(now, 32, &mut Vec::new());
+        }
+        skipped.skip(1, 100);
+        assert_eq!(ticked.port_busy_cycles, skipped.port_busy_cycles);
+        assert_eq!(ticked.mem_idle_cycles, skipped.mem_idle_cycles);
+        assert!(skipped.mem_idle_cycles > 0);
+
+        // Port occupied by a long Compute on a done-warp path: the port-busy
+        // tail must be identical too.
+        let mk2 = || mk_sm(vec![WarpProgram::new(vec![I::Compute(40)])]);
+        let mut t2 = mk2();
+        let mut s2 = mk2();
+        t2.tick(0, 8, &mut Vec::new());
+        s2.tick(0, 8, &mut Vec::new());
+        for now in 1..30u64 {
+            t2.tick(now, 8, &mut Vec::new());
+        }
+        s2.skip(1, 30);
+        assert_eq!(t2.port_busy_cycles, s2.port_busy_cycles);
+        assert_eq!(t2.mem_idle_cycles, s2.mem_idle_cycles);
+        assert_eq!(t2.port_busy_cycles, 29);
     }
 
     #[test]

@@ -108,6 +108,24 @@ impl<T> Crossbar<T> {
     pub fn busy(&self) -> bool {
         !self.flight.is_empty() || self.src_q.iter().any(|q| !q.is_empty())
     }
+
+    /// Earliest cycle [`Self::tick`] could move a payload: `now` while any
+    /// source FIFO holds a head to grant (or a blocked delivery is
+    /// retrying), else the first in-flight arrival. `None` when empty.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.src_q.iter().any(|q| !q.is_empty()) {
+            return Some(now);
+        }
+        self.flight.front().map(|&(arrive, _, _)| arrive.max(now))
+    }
+
+    /// Account for `delta` skipped idle ticks: the round-robin pointer
+    /// advances every cycle whether or not anything is granted, so skipping
+    /// must replay that rotation for bit-exact arbitration afterwards.
+    pub fn skip(&mut self, delta: Cycle) {
+        let ns = self.src_q.len();
+        self.rr = (self.rr + (delta % ns as Cycle) as usize) % ns;
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +211,44 @@ mod tests {
             xb.tick(now, |_| open, |_, t| got.push(t));
         }
         assert_eq!(got, vec![0, 1, 2], "order must survive rejection");
+    }
+
+    #[test]
+    fn skip_matches_explicit_idle_ticks() {
+        // Skipping N idle cycles must leave the arbiter in the same state as
+        // ticking N times with nothing queued: the next contended grant goes
+        // to the same source.
+        for idle in [0u64, 1, 2, 3, 7, 513] {
+            let mut a: Crossbar<u32> = Crossbar::new(3, 1, 0, 8);
+            let mut b: Crossbar<u32> = Crossbar::new(3, 1, 0, 8);
+            for now in 0..idle {
+                a.tick(now, |_| true, |_, _| {});
+            }
+            b.skip(idle);
+            assert_eq!(a.next_event(idle), None);
+            assert_eq!(b.next_event(idle), None);
+            for s in 0..3 {
+                a.inject(s, 0, s as u32);
+                b.inject(s, 0, s as u32);
+            }
+            assert_eq!(a.next_event(idle), Some(idle));
+            let (mut ga, mut gb) = (Vec::new(), Vec::new());
+            for now in idle..idle + 3 {
+                a.tick(now, |_| true, |_, t| ga.push(t));
+                b.tick(now, |_| true, |_, t| gb.push(t));
+            }
+            assert_eq!(ga, gb, "idle={idle}");
+        }
+    }
+
+    #[test]
+    fn next_event_reports_first_arrival() {
+        let mut xb: Crossbar<u32> = Crossbar::new(1, 1, 5, 8);
+        xb.inject(0, 0, 42);
+        assert_eq!(xb.next_event(0), Some(0), "queued head is immediate");
+        xb.tick(0, |_| true, |_, _| {});
+        assert_eq!(xb.next_event(1), Some(5), "in-flight arrival at 5");
+        assert_eq!(xb.next_event(7), Some(7), "past-due clamps to now");
     }
 
     #[test]

@@ -220,6 +220,64 @@ impl Controller {
         self.pending() == 0
     }
 
+    /// Earliest cycle at which [`Self::tick`] could change observable state,
+    /// for idle-cycle fast-forwarding. May be conservative (earlier than the
+    /// true next change — the caller just steps and asks again) but must
+    /// never be later. `None` means nothing will ever happen without new
+    /// input.
+    ///
+    /// Stages that run unconditionally every cycle (admission, transaction
+    /// scheduling, drain bookkeeping, coordination output) pin the horizon
+    /// at `now`; purely time-gated work (in-flight bursts, command-bus
+    /// legality windows, refresh cadence) contributes its exact ready cycle.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.outbox.is_empty()
+            || !self.coord_out.is_empty()
+            || !self.entry_q.is_empty()
+            || !self.write_q.is_empty()
+            || self.policy.pending() > 0
+        {
+            return Some(now);
+        }
+        let mut ev: Option<Cycle> = None;
+        let mut upd = |c: Cycle| ev = Some(ev.map_or(c, |e| e.min(c)));
+        if let Some(Reverse(c)) = self.completions.peek() {
+            upd(c.done.max(now));
+        }
+        if !self.fast_q.is_empty() {
+            upd(self.channel.fast_read_ready().max(now));
+        }
+        for q in &self.cmd_q {
+            if let Some(e) = q.front() {
+                let r = self.channel.ready_cycle(&e.cmd);
+                if r != Cycle::MAX {
+                    upd(r.max(now));
+                }
+            }
+        }
+        if self.refresh_enabled && !self.refresh_pending {
+            upd(self.channel.next_refresh().max(now));
+        }
+        if self.refresh_pending && self.cmd_q.iter().all(|q| q.is_empty()) {
+            // step_refresh examines the first open bank in plain index
+            // order; once none remain, REFab waits on every bank's
+            // activate-ready point.
+            if let Some(b) = self.channel.banks.iter().find(|b| b.is_open()) {
+                upd(b.pre_ready.max(now));
+            } else {
+                let settle = self
+                    .channel
+                    .banks
+                    .iter()
+                    .map(|b| b.act_ready)
+                    .max()
+                    .unwrap_or(0);
+                upd(settle.max(now));
+            }
+        }
+        ev
+    }
+
     /// Reads waiting for a transaction-scheduling decision (entry buffer +
     /// policy queue) — the upstream gate keeps this near `read_capacity`.
     pub fn read_backlog(&self) -> usize {
@@ -1053,6 +1111,56 @@ mod tests {
         assert_eq!(ctrl.channel.stats.acts, 6);
         assert_eq!(ctrl.channel.open_banks(), 0);
         assert!((ctrl.channel.stats.row_hit_rate() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_event_skipping_is_bit_exact() {
+        // Service a mixed workload twice: once ticking every cycle, once
+        // ticking only at the horizons next_event reports. Responses and
+        // channel statistics must match exactly.
+        let drive = |skip: bool| {
+            let (mut ctrl, m) = mk_ctrl(false);
+            for i in 0..360u64 {
+                let kind = if i % 4 == 0 {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                ctrl.push_request(mk_req(&m, i + 1, (i * 6151) % (1 << 25) * 128, kind, 1));
+            }
+            let mut out = Vec::new();
+            let mut now = 0;
+            while !ctrl.idle() && now < 2_000_000 {
+                ctrl.tick(now);
+                ctrl.drain_responses(&mut out);
+                now += 1;
+                if skip {
+                    if let Some(ev) = ctrl.next_event(now) {
+                        assert!(ev >= now, "horizon moved backwards");
+                        now = ev;
+                    }
+                }
+            }
+            assert!(ctrl.idle(), "controller did not drain (skip={skip})");
+            let done: Vec<(u64, Cycle)> = out.iter().map(|r| (r.id.0, r.done_cycle)).collect();
+            (done, ctrl.channel.stats, ctrl.stats.refreshes)
+        };
+        let (resp_a, stats_a, ref_a) = drive(false);
+        let (resp_b, stats_b, ref_b) = drive(true);
+        assert_eq!(resp_a, resp_b, "responses diverged under skipping");
+        assert_eq!(stats_a, stats_b, "channel stats diverged under skipping");
+        assert_eq!(ref_a, ref_b);
+        assert!(ref_a >= 1, "workload long enough to cross a refresh window");
+    }
+
+    #[test]
+    fn next_event_none_when_idle_now_when_loaded() {
+        let (mut ctrl, m) = mk_ctrl(false);
+        // A fresh controller's only event is the refresh cadence.
+        let t = *ctrl.channel.timing();
+        assert_eq!(ctrl.next_event(0), Some(t.t_refi));
+        ctrl.push_request(mk_req(&m, 1, 0x8000, ReqKind::Read, 1));
+        assert_eq!(ctrl.next_event(5), Some(5), "queued work pins the horizon");
     }
 
     #[test]

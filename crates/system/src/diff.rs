@@ -36,7 +36,11 @@ pub struct DiffCell {
 
 impl DiffCell {
     pub fn clean(&self) -> bool {
-        self.result.finished && self.violations == 0 && self.conserved && self.reproducible
+        self.result.finished
+            && self.violations == 0
+            && self.conserved
+            && self.reproducible
+            && self.result.dropped_requests == 0
     }
 }
 
@@ -76,6 +80,12 @@ impl DiffReport {
             }
             if !c.reproducible {
                 out.push(format!("{}/{name}: not reproducible", self.benchmark));
+            }
+            if c.result.dropped_requests > 0 {
+                out.push(format!(
+                    "{}/{name}: {} request(s) dropped at a crossbar",
+                    self.benchmark, c.result.dropped_requests
+                ));
             }
         }
         out
@@ -150,9 +160,11 @@ mod tests {
         assert!(report.all_clean(), "failures: {:?}", report.failures());
         report.cells[0].violations = 2;
         report.cells[0].conserved = false;
+        report.cells[0].result.dropped_requests = 1;
         assert!(!report.all_clean());
         let msgs = report.failures();
         assert!(msgs.iter().any(|m| m.contains("protocol violation")));
         assert!(msgs.iter().any(|m| m.contains("conservation broken")));
+        assert!(msgs.iter().any(|m| m.contains("dropped at a crossbar")));
     }
 }

@@ -84,6 +84,10 @@ pub struct RunResult {
     /// partition yields exactly one SM response (L2 hit, MSHR merge, or
     /// DRAM fill) — an inequality means a request was lost or duplicated.
     pub mem_read_responses: u64,
+    /// Requests dropped by a failed crossbar injection. Always zero in a
+    /// healthy run; a non-zero value is a hard error (the runner panics on
+    /// it) — a lost request silently deadlocks its warp otherwise.
+    pub dropped_requests: u64,
     /// Stable FNV-1a digest of the event trace (None when tracing is off).
     pub trace_hash: Option<u64>,
 }
@@ -161,6 +165,7 @@ impl RunResult {
             .u64("audit_violations", self.audit_violations)
             .u64("mem_read_requests", self.mem_read_requests)
             .u64("mem_read_responses", self.mem_read_responses)
+            .u64("dropped_requests", self.dropped_requests)
             .opt_u64("trace_hash", self.trace_hash)
             .build()
     }
@@ -344,6 +349,7 @@ mod tests {
             audit_violations: 0,
             mem_read_requests: 80,
             mem_read_responses: 80,
+            dropped_requests: 0,
             trace_hash: Some(42),
         };
         assert!((r.ipc() - 2.5).abs() < 1e-9);

@@ -192,11 +192,38 @@ impl Partition {
         self.ctrl.push_request(req);
     }
 
+    /// Earliest cycle this partition (L2 slice + controller) can make
+    /// progress. A queued input is immediate — even a stalled head re-probes
+    /// the L2 every cycle (stats + LRU), so those cycles cannot be skipped.
+    /// SM-bound responses pin `now` too: the response crossbar drains them
+    /// each cycle.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.input.is_empty() || !self.to_sm.is_empty() {
+            return Some(now);
+        }
+        let mut ev = self.ctrl.next_event(now);
+        if let Some(&(ready, _)) = self.to_ctrl.front() {
+            let c = ready.max(now);
+            ev = Some(ev.map_or(c, |e| e.min(c)));
+        }
+        ev
+    }
+
     /// Sample bank-active state (power model input).
     pub fn sample_activity(&mut self) {
         self.total_samples += 1;
         if self.ctrl.channel.open_banks() > 0 {
             self.active_samples += 1;
+        }
+    }
+
+    /// Replay `n` activity samples at once. Valid across a fast-forward
+    /// skip: banks neither open nor close while the controller has no event,
+    /// so each skipped sample would have observed the same bank state.
+    pub fn sample_activity_many(&mut self, n: u64) {
+        self.total_samples += n;
+        if self.ctrl.channel.open_banks() > 0 {
+            self.active_samples += n;
         }
     }
 

@@ -69,6 +69,14 @@ pub fn run_one_with(
     tweak(&mut cfg);
     let audit_on = cfg.audit;
     let result = Simulator::new(cfg, &kernel).run();
+    if result.dropped_requests > 0 {
+        panic!(
+            "{} request(s) dropped at a crossbar \
+             ({bench}/{kind:?}, scale {scale:?}, seed {seed}) — \
+             injection overflow means results are silently corrupt",
+            result.dropped_requests
+        );
+    }
     if audit_on && result.audit_violations > 0 {
         panic!(
             "DRAM protocol audit failed: {} violation(s) in {} commands \

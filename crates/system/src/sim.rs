@@ -34,6 +34,11 @@ pub struct Simulator {
     // Conservation counters (always on; two u64 increments per event).
     mem_read_requests: u64,
     mem_read_responses: u64,
+    /// Requests dropped by a failed crossbar injection. Always zero in a
+    /// healthy run — injection sites check free space first — but counted
+    /// (not `debug_assert!`ed away) so a release build surfaces the loss as
+    /// a hard error instead of silently corrupting results.
+    lost_requests: u64,
     /// Warp-group lifecycle events (populated only when `cfg.trace`).
     wg_events: Vec<WgEvent>,
 }
@@ -120,6 +125,7 @@ impl Simulator {
             sm_out: Vec::new(),
             mem_read_requests: 0,
             mem_read_responses: 0,
+            lost_requests: 0,
             wg_events: Vec::new(),
         }
     }
@@ -128,32 +134,13 @@ impl Simulator {
     /// trace export and offline analysis).
     pub fn run_with_records(self) -> (RunResult, Vec<ldsim_gpu::sm::LoadRecord>) {
         let mut sim = self;
-        let mut now: Cycle = 0;
-        let mut finished = false;
-        let limit = sim.cfg.instruction_limit.unwrap_or(u64::MAX);
-        while now < sim.cfg.max_cycles {
-            sim.step(now);
-            if now.is_multiple_of(512) {
-                for p in &mut sim.partitions {
-                    p.sample_activity();
-                }
-            }
-            if sim.sms.iter().all(|s| s.done()) {
-                finished = true;
-                break;
-            }
-            if sim.sms.iter().map(|s| s.retired).sum::<u64>() >= limit {
-                finished = true;
-                break;
-            }
-            now += 1;
-        }
+        let (end, finished) = sim.run_core();
         let records: Vec<ldsim_gpu::sm::LoadRecord> = sim
             .sms
             .iter()
             .flat_map(|s| s.records.iter().copied())
             .collect();
-        (sim.collect(now.max(1), finished), records)
+        (sim.collect(end, finished), records)
     }
 
     /// Run to completion (all warps retired) or the cycle limit; collect the
@@ -165,12 +152,27 @@ impl Simulator {
     /// Like [`Self::run`], but also returns the assembled event [`Trace`]
     /// (None unless the config enabled tracing).
     pub fn run_traced(mut self) -> (RunResult, Option<Trace>) {
+        let (end, finished) = self.run_core();
+        self.collect_full(end, finished)
+    }
+
+    /// The main loop, shared by every run flavour. Steps cycle by cycle,
+    /// sampling bank activity every 512th *completed* cycle (the first
+    /// sample reflects cycle 511, not the trivially-idle cycle 0). When
+    /// `cfg.fast_forward` is set, cycles in which no component can make
+    /// progress are skipped in one jump to the event horizon — bit-exact
+    /// with the reference loop because every per-cycle side effect of an
+    /// idle tick (crossbar round-robin rotation, SM port/idle counters,
+    /// activity-sample cadence) is replayed in closed form by the
+    /// components' `skip` hooks.
+    fn run_core(&mut self) -> (Cycle, bool) {
         let mut now: Cycle = 0;
         let mut finished = false;
         let limit = self.cfg.instruction_limit.unwrap_or(u64::MAX);
+        let fast_forward = self.cfg.fast_forward;
         while now < self.cfg.max_cycles {
             self.step(now);
-            if now.is_multiple_of(512) {
+            if (now + 1).is_multiple_of(512) {
                 for p in &mut self.partitions {
                     p.sample_activity();
                 }
@@ -184,8 +186,74 @@ impl Simulator {
                 break;
             }
             now += 1;
+            if fast_forward {
+                let target = self
+                    .horizon(now)
+                    .map_or(self.cfg.max_cycles, |h| h.min(self.cfg.max_cycles));
+                if target > now {
+                    self.skip_idle_cycles(now, target);
+                    now = target;
+                }
+            }
         }
-        self.collect_full(now.max(1), finished)
+        (now.max(1), finished)
+    }
+
+    /// The event horizon: the earliest cycle ≥ `now` at which any component
+    /// can change state. `None` means no component will ever act again
+    /// without outside input (the machine is drained or wedged). Components
+    /// may report conservatively-early horizons — the loop simply steps and
+    /// asks again — but never later than their true next event.
+    fn horizon(&self, now: Cycle) -> Option<Cycle> {
+        let mut ev: Option<Cycle> = None;
+        // A component pinned at `now` forbids any skip, so bail out the
+        // moment one reports it — while the machine is busy this makes the
+        // horizon poll O(first busy component) instead of O(machine).
+        // Cheapest/most-often-pinned components go first.
+        macro_rules! merge {
+            ($c:expr) => {
+                if let Some(c) = $c {
+                    if c <= now {
+                        return Some(now);
+                    }
+                    ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
+                }
+            };
+        }
+        merge!(self.req_xbar.next_event(now));
+        merge!(self.resp_xbar.next_event(now));
+        if self.cfg.scheduler.coordinates() {
+            merge!(self.coord.next_event(now));
+        }
+        for p in &self.partitions {
+            merge!(p.next_event(now));
+        }
+        for sm in &self.sms {
+            merge!(sm.next_event(now));
+        }
+        ev
+    }
+
+    /// Replay the deterministic per-cycle side effects of the skipped
+    /// cycles `[now, target)` so downstream behaviour is bit-exact with
+    /// having ticked each one.
+    fn skip_idle_cycles(&mut self, now: Cycle, target: Cycle) {
+        let delta = target - now;
+        for sm in &mut self.sms {
+            sm.skip(now, target);
+        }
+        self.req_xbar.skip(delta);
+        self.resp_xbar.skip(delta);
+        // Activity samples land after the step of every cycle c with
+        // (c + 1) % 512 == 0; the skipped range contains
+        // target/512 - now/512 of them, all observing the same (frozen)
+        // bank state.
+        let samples = target / 512 - now / 512;
+        if samples > 0 {
+            for p in &mut self.partitions {
+                p.sample_activity_many(samples);
+            }
+        }
     }
 
     /// Advance the machine one cycle.
@@ -234,8 +302,9 @@ impl Simulator {
                     break;
                 }
                 let (_, resp) = p.to_sm.pop_front().unwrap();
-                let ok = self.resp_xbar.inject(pi, sm, resp);
-                debug_assert!(ok);
+                if !self.resp_xbar.inject(pi, sm, resp) {
+                    self.lost_requests += 1;
+                }
             }
         }
         // Response crossbar -> SMs (SMs always accept fills).
@@ -256,8 +325,9 @@ impl Simulator {
             sm.tick(now, free, &mut self.sm_out);
             for r in self.sm_out.drain(..) {
                 let dst = r.decoded.channel.0 as usize;
-                let ok = self.req_xbar.inject(si, dst, r);
-                debug_assert!(ok, "SM issued beyond crossbar budget");
+                if !self.req_xbar.inject(si, dst, r) {
+                    self.lost_requests += 1;
+                }
             }
         }
         // Request crossbar -> partitions. In the zero-divergence ideal
@@ -303,6 +373,38 @@ impl Simulator {
                 partitions[dst].accept(req);
             },
         );
+    }
+
+    /// Test-only fault injection: stuff the request crossbar's source-0
+    /// FIFO to capacity and push one request past it, exercising the
+    /// lost-request accounting that guards against silent drops.
+    #[doc(hidden)]
+    pub fn inject_fault_xbar_overflow(&mut self) {
+        let mapper = AddressMapper::new(&self.cfg.mem, self.cfg.gpu.l1.line_bytes);
+        let mk = |n: u64| {
+            let decoded = mapper.decode(0);
+            ldsim_types::req::MemRequest {
+                id: ldsim_types::ids::RequestId(0xF000_0000_0000_0000 | n),
+                kind: ldsim_types::req::ReqKind::Write,
+                line_addr: 0,
+                decoded,
+                wg: WarpGroupId::new(ldsim_types::ids::GlobalWarpId::new(0, 0), u32::MAX),
+                last_of_group: true,
+                group_size_on_channel: 1,
+                issue_cycle: 0,
+                arrival_cycle: 0,
+            }
+        };
+        let dst = mapper.decode(0).channel.0 as usize;
+        let mut n = 0u64;
+        while self.req_xbar.free_space(0) > 0 {
+            n += 1;
+            let r = mk(n);
+            assert!(self.req_xbar.inject(0, dst, r));
+        }
+        if !self.req_xbar.inject(0, dst, mk(n + 1)) {
+            self.lost_requests += 1;
+        }
     }
 
     fn collect(self, cycles: Cycle, finished: bool) -> RunResult {
@@ -455,6 +557,7 @@ impl Simulator {
             audit_violations,
             mem_read_requests: self.mem_read_requests,
             mem_read_responses: self.mem_read_responses,
+            dropped_requests: self.lost_requests,
             trace_hash,
         };
         (result, trace)
@@ -559,6 +662,86 @@ mod tests {
         assert!(pc.avg_reqs_per_load <= 1.01);
         assert!(base.avg_reqs_per_load > 2.0);
         assert!(pc.cycles < base.cycles, "perfect coalescing must speed up");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact_with_reference_loop() {
+        let kernel = tiny_kernel(6, 5);
+        for k in [
+            SchedulerKind::Gmc,
+            SchedulerKind::WgM,
+            SchedulerKind::WgW,
+            SchedulerKind::ZeroDivergence,
+        ] {
+            let cfg = SimConfig {
+                max_cycles: 4_000_000,
+                ..SimConfig::default()
+            }
+            .with_scheduler(k)
+            .with_trace();
+            let fast = Simulator::new(cfg.clone(), &kernel).run_traced();
+            let slow = Simulator::new(cfg.with_fast_forward(false), &kernel).run_traced();
+            assert_eq!(fast.0, slow.0, "{k:?} diverged");
+            assert_eq!(
+                fast.1.as_ref().map(|t| t.stable_hash()),
+                slow.1.as_ref().map(|t| t.stable_hash()),
+                "{k:?} trace hash diverged"
+            );
+            assert!(fast.0.finished);
+        }
+    }
+
+    #[test]
+    fn activity_sampling_skips_trivially_idle_cycle_zero() {
+        // A kernel that finishes in well under 512 cycles must record zero
+        // activity samples: the old pre-step check always took a sample at
+        // cycle 0, biasing active_fraction toward idle.
+        let kernel = KernelProgram {
+            name: "blink".into(),
+            programs: vec![vec![WarpProgram::new(vec![Instruction::Compute(5)])]],
+        };
+        let mut sim = Simulator::new(SimConfig::default(), &kernel);
+        let (end, finished) = sim.run_core();
+        assert!(finished);
+        assert!(end < 512);
+        for p in &sim.partitions {
+            assert_eq!(p.total_samples, 0, "no 512-cycle boundary was crossed");
+        }
+    }
+
+    #[test]
+    fn sampling_cadence_is_preserved_under_fast_forward() {
+        // Long memory-bound kernel: both loops must take the same number of
+        // samples and agree on the active fraction.
+        let kernel = tiny_kernel(16, 24);
+        let cfg = SimConfig {
+            max_cycles: 4_000_000,
+            ..SimConfig::default()
+        };
+        let mut fast = Simulator::new(cfg.clone(), &kernel);
+        let (end_f, _) = fast.run_core();
+        let mut slow = Simulator::new(cfg.with_fast_forward(false), &kernel);
+        let (end_s, _) = slow.run_core();
+        assert_eq!(end_f, end_s);
+        assert!(end_f > 1024, "kernel too short to exercise sampling");
+        for (f, s) in fast.partitions.iter().zip(&slow.partitions) {
+            assert_eq!(f.total_samples, s.total_samples);
+            assert_eq!(f.active_samples, s.active_samples);
+            // One sample per completed 512-cycle window (cycles 511, 1023, …).
+            assert_eq!(f.total_samples, (end_f + 1) / 512);
+        }
+    }
+
+    #[test]
+    fn crossbar_overflow_is_a_counted_hard_error() {
+        let kernel = tiny_kernel(2, 2);
+        let mut sim = Simulator::new(SimConfig::default(), &kernel);
+        sim.inject_fault_xbar_overflow();
+        let (r, _) = sim.run_traced();
+        assert_eq!(r.dropped_requests, 1, "overflow must surface, not vanish");
+
+        let clean = Simulator::new(SimConfig::default(), &kernel).run();
+        assert_eq!(clean.dropped_requests, 0);
     }
 
     #[test]

@@ -362,6 +362,10 @@ pub struct SimConfig {
     /// lifecycle, latency-divergence samples) with a stable FNV-1a hash,
     /// exportable as JSONL. Off by default (zero cost when disabled).
     pub trace: bool,
+    /// Fast-forward the main loop over cycles where no component can make
+    /// progress (event-horizon skipping). Bit-exact with the cycle-by-cycle
+    /// loop; on by default. Disable to force the reference loop.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -376,6 +380,7 @@ impl Default for SimConfig {
             clock: ClockDomain::GDDR5,
             audit: false,
             trace: false,
+            fast_forward: true,
         }
     }
 }
@@ -395,6 +400,12 @@ impl SimConfig {
     /// Enable structured event tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enable or disable idle-cycle fast-forwarding (on by default).
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 

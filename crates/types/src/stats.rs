@@ -83,7 +83,10 @@ pub fn geomean(xs: &[f64]) -> f64 {
     let log_sum: f64 = xs
         .iter()
         .map(|&x| {
-            assert!(x > 0.0, "geomean requires positive inputs, got {x}");
+            assert!(
+                x > 0.0 && x.is_finite(),
+                "geomean requires positive finite inputs, got {x}"
+            );
             x.ln()
         })
         .sum();
@@ -150,6 +153,20 @@ mod tests {
     #[should_panic]
     fn geomean_rejects_nonpositive() {
         geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn geomean_rejects_infinite() {
+        // A zero-IPC baseline turns a speedup ratio into +inf; the old
+        // assert (x > 0.0) let it through and poisoned the mean with NaN.
+        geomean(&[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn geomean_rejects_nan() {
+        geomean(&[f64::NAN]);
     }
 
     #[test]
