@@ -3,19 +3,22 @@
 //!
 //! Every binary accepts an optional scale argument (`tiny` / `small` /
 //! `full`, default `small`), an optional `--seed N`, and the `--audit` /
-//! `--trace` switches (which arm the DRAM protocol conformance auditor and
-//! the event-trace recorder for every run the binary performs); results
-//! print as text tables (the same rows/series the paper plots) and are also
-//! written as JSON lines to `results/<figure>.jsonl` — one file per figure,
-//! rewritten on every invocation and stamped with the scale and seed — for
-//! EXPERIMENTS.md provenance.
+//! `--trace` / `--hist` switches (which arm the DRAM protocol conformance
+//! auditor, the event-trace recorder, and the distribution histograms for
+//! every run the binary performs); results print as text tables (the same
+//! rows/series the paper plots) and are also written as JSON lines to
+//! `results/<figure>.jsonl` — one file per figure, rewritten on every
+//! invocation and stamped with the scale and seed — for EXPERIMENTS.md
+//! provenance. When histograms are armed, the full bucket arrays go to a
+//! companion `results/<figure>.hist.jsonl`.
 
 use ldsim_system::{RunOpts, RunResult};
+use ldsim_util::json::JsonObject;
 use ldsim_workloads::Scale;
 use std::io::Write;
 
-/// Parse `[tiny|small|full]`, `--seed N`, `--audit`, and `--trace` from
-/// argv. The audit/trace switches are applied process-wide via
+/// Parse `[tiny|small|full]`, `--seed N`, `--audit`, `--trace`, and
+/// `--hist` from argv. The switches are applied process-wide via
 /// [`ldsim_system::set_run_opts`] before returning.
 pub fn cli() -> (Scale, u64) {
     let mut scale = Scale::Small;
@@ -37,8 +40,10 @@ pub fn cli() -> (Scale, u64) {
             }
             "--audit" => opts.audit = true,
             "--trace" => opts.trace = true,
+            "--hist" => opts.hist = true,
             other => panic!(
-                "unknown argument '{other}' (expected tiny|small|full|--seed N|--audit|--trace)"
+                "unknown argument '{other}' \
+                 (expected tiny|small|full|--seed N|--audit|--trace|--hist)"
             ),
         }
         i += 1;
@@ -65,7 +70,31 @@ pub fn dump_json(figure: &str, scale: Scale, seed: u64, results: &[&RunResult]) 
     );
 }
 
+/// Splice the figure/scale/seed provenance stamp into a serialized JSON
+/// object. The row must be a non-empty flat object — splicing into anything
+/// else (or into `{}`, which would leave a trailing comma) produces a file
+/// every downstream consumer mis-parses, so the check is a hard `assert!`:
+/// the release binaries are exactly the ones producing the real experiment
+/// data, and a `debug_assert!` compiles away there.
+pub fn stamp_row(figure: &str, scale: Scale, seed: u64, row: &str) -> String {
+    assert!(
+        row.starts_with('{') && row.len() > 2 && row.ends_with('}'),
+        "stamp_row: malformed JSON row for '{figure}': {row:?}"
+    );
+    format!(
+        "{{\"figure\":\"{figure}\",\"scale\":\"{scale:?}\",\"seed\":{seed},{}",
+        &row[1..]
+    )
+}
+
 /// [`dump_json`] with an explicit output directory (separated for tests).
+///
+/// If any result carries armed histograms (`RunResult::hists`), their full
+/// bucket arrays are written alongside as `<figure>.hist.jsonl` — one row
+/// per (run, histogram) with parallel `bucket_lo` / `bucket_hi` / `count`
+/// arrays. Otherwise any stale `.hist.jsonl` from a previous armed
+/// invocation is deleted, for the same reason the main file is rewritten:
+/// leftovers would masquerade as this run's output.
 pub fn dump_json_to(
     dir: &std::path::Path,
     figure: &str,
@@ -80,13 +109,47 @@ pub fn dump_json_to(
     let mut f = std::fs::File::create(&path)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
     for r in results {
-        let row = r.to_json();
-        debug_assert!(row.starts_with('{'));
-        let stamped = format!(
-            "{{\"figure\":\"{figure}\",\"scale\":\"{scale:?}\",\"seed\":{seed},{}",
-            &row[1..]
-        );
+        let stamped = stamp_row(figure, scale, seed, &r.to_json());
         writeln!(f, "{stamped}").unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    let hist_path = dir.join(format!("{figure}.hist.jsonl"));
+    if results.iter().any(|r| r.hists.is_some()) {
+        let mut hf = std::fs::File::create(&hist_path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", hist_path.display()));
+        for r in results {
+            let Some(hists) = r.hists.as_deref() else {
+                continue;
+            };
+            for (name, h) in hists.iter_named() {
+                let (mut lo, mut hi, mut count) = (Vec::new(), Vec::new(), Vec::new());
+                for (l, u, c) in h.nonzero_buckets() {
+                    lo.push(l);
+                    hi.push(u);
+                    count.push(c);
+                }
+                let row = JsonObject::new()
+                    .str("benchmark", &r.benchmark)
+                    .str("scheduler", &r.scheduler)
+                    .str("hist", name)
+                    .u64("total", h.total())
+                    .u64("min", h.min())
+                    .u64("max", h.max())
+                    .u64("p50", h.quantile(0.5))
+                    .u64("p90", h.quantile(0.9))
+                    .u64("p99", h.quantile(0.99))
+                    .f64("mean", h.mean())
+                    .u64_array("bucket_lo", &lo)
+                    .u64_array("bucket_hi", &hi)
+                    .u64_array("count", &count)
+                    .build();
+                writeln!(hf, "{}", stamp_row(figure, scale, seed, &row))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", hist_path.display()));
+            }
+        }
+    } else if let Err(e) = std::fs::remove_file(&hist_path) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            panic!("cannot remove stale {}: {e}", hist_path.display());
+        }
     }
 }
 
@@ -204,6 +267,56 @@ mod tests {
         assert!(lines[0].starts_with("{\"figure\":\"figX\",\"scale\":\"Small\",\"seed\":9,"));
         assert!(lines[0].contains("\"benchmark\":\"spmv\""));
         assert!(lines[0].ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed JSON row")]
+    fn stamping_a_non_object_row_panics_in_release_builds_too() {
+        // Hard assert, not debug_assert: the release figure binaries are the
+        // ones whose output actually gets consumed.
+        stamp_row("figX", Scale::Tiny, 1, "not an object");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed JSON row")]
+    fn stamping_an_empty_object_panics() {
+        // Splicing into `{}` would emit `{...,}` — a trailing comma.
+        stamp_row("figX", Scale::Tiny, 1, "{}");
+    }
+
+    #[test]
+    fn hist_dump_writes_and_removes_companion_file() {
+        let dir = std::env::temp_dir().join(format!("ldsim-hist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut hists = ldsim_system::metrics::RunHists::new();
+        hists.dram_gap.add(100);
+        hists.dram_gap.add(300);
+        let armed = RunResult {
+            benchmark: "bfs".into(),
+            scheduler: "Gmc".into(),
+            hists: Some(Box::new(hists)),
+            ..Default::default()
+        };
+        dump_json_to(&dir, "figH", Scale::Tiny, 3, &[&armed]);
+        let text = std::fs::read_to_string(dir.join("figH.hist.jsonl")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "one row per named histogram: {text}");
+        let gap = lines
+            .iter()
+            .find(|l| l.contains("\"hist\":\"dram_gap\""))
+            .unwrap();
+        assert!(gap.starts_with("{\"figure\":\"figH\",\"scale\":\"Tiny\",\"seed\":3,"));
+        assert!(gap.contains("\"total\":2"));
+        assert!(gap.contains("\"min\":100"));
+        assert!(gap.contains("\"bucket_lo\":["));
+        // An unarmed re-dump must clear the stale companion file.
+        let plain = RunResult::default();
+        dump_json_to(&dir, "figH", Scale::Tiny, 3, &[&plain]);
+        assert!(
+            !dir.join("figH.hist.jsonl").exists(),
+            "stale hist file survived an unarmed dump"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,6 +19,7 @@ use crate::bank::Bank;
 use ldsim_types::clock::Cycle;
 use ldsim_types::config::{MemConfig, TimingCycles};
 use ldsim_types::ids::BankId;
+use ldsim_types::stats::Histogram;
 
 /// A DRAM command, as placed in per-bank command queues by the transaction
 /// scheduler.
@@ -128,6 +129,10 @@ pub struct Channel {
     auditor: Option<Box<TimingAuditor>>,
     /// Structured command log for the event tracer (None = zero cost).
     cmd_log: Option<Vec<CmdEvent>>,
+    /// Row-hit streak length distribution, one sample per row closure
+    /// (None = zero cost). Observation-only: never read back by the
+    /// scheduler, so arming it cannot perturb timing.
+    streak_hist: Option<Box<Histogram>>,
 }
 
 impl Channel {
@@ -148,6 +153,7 @@ impl Channel {
             stats: ChannelStats::default(),
             auditor: None,
             cmd_log: None,
+            streak_hist: None,
         }
     }
 
@@ -166,6 +172,32 @@ impl Channel {
     /// Start recording every issued command into a structured log.
     pub fn enable_cmd_log(&mut self) {
         self.cmd_log = Some(Vec::new());
+    }
+
+    /// Start recording the row-hit streak length (bursts served per
+    /// activate) of every row the channel closes.
+    pub fn enable_streak_hist(&mut self) {
+        self.streak_hist = Some(Box::new(Histogram::latency()));
+    }
+
+    /// The recorded row-hit streak distribution (None if recording is off).
+    /// Call [`Self::flush_streak_hist`] first to include still-open rows.
+    pub fn streak_hist(&self) -> Option<&Histogram> {
+        self.streak_hist.as_deref()
+    }
+
+    /// Record the streaks of rows still open at end of run, which never saw
+    /// the closing PRE that normally samples them. Idempotent per open row
+    /// only if called once — call exactly once, at collection.
+    pub fn flush_streak_hist(&mut self) {
+        let Some(h) = self.streak_hist.as_deref_mut() else {
+            return;
+        };
+        for b in &self.banks {
+            if b.is_open() {
+                h.add(b.hits_since_act as u64);
+            }
+        }
     }
 
     /// Violations the auditor has flagged so far (None if auditing is off).
@@ -334,6 +366,11 @@ impl Channel {
     pub fn issue_pre(&mut self, bank: BankId, now: Cycle) {
         debug_assert!(self.can_pre(bank, now));
         self.observe(CmdKind::Pre, bank.0, 0, now);
+        if let Some(h) = self.streak_hist.as_deref_mut() {
+            // A PRE closes the row, ending its hit streak: sample the
+            // bursts-per-activate counter before do_pre freezes it.
+            h.add(self.banks[bank.0 as usize].hits_since_act as u64);
+        }
         self.banks[bank.0 as usize].do_pre(now, &self.t);
         self.stats.pres += 1;
     }

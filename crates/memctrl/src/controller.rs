@@ -23,6 +23,7 @@ use ldsim_types::clock::Cycle;
 use ldsim_types::config::MemConfig;
 use ldsim_types::ids::{ChannelId, WarpGroupId};
 use ldsim_types::req::{MemRequest, MemResponse, ReqKind};
+use ldsim_types::stats::Histogram;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -145,6 +146,12 @@ pub struct Controller {
     /// Bank scan order interleaving bank groups (g0b0, g1b0, g2b0, ...).
     bank_order: Vec<usize>,
     snapshot: Vec<BankSnapshot>,
+    /// Per-bank command-queue depth sampled at every transaction enqueue
+    /// (None = zero cost). Observation-only.
+    depth_hist: Option<Box<Histogram>>,
+    /// Busy-bank count (the MERB view's notion of in-service banks) sampled
+    /// at every successful read pick (None = zero cost). Observation-only.
+    merb_occ_hist: Option<Box<Histogram>>,
 }
 
 impl Controller {
@@ -202,6 +209,8 @@ impl Controller {
             bank_rotate: 0,
             bank_order,
             snapshot: vec![BankSnapshot::default(); nb],
+            depth_hist: None,
+            merb_occ_hist: None,
         }
     }
 
@@ -518,6 +527,11 @@ impl Controller {
             merb: &self.merb,
         };
         if let Some(req) = self.policy.pick(&view) {
+            if let Some(h) = self.merb_occ_hist.as_deref_mut() {
+                // Banks with queued work — the occupancy the MERB gate
+                // reasons about (cf. WG-Bw's banks_with_work predicate).
+                h.add(self.snapshot.iter().filter(|s| s.busy).count() as u64);
+            }
             self.enqueue_transaction(req);
         }
     }
@@ -550,6 +564,9 @@ impl Controller {
     /// Expand one request into commands in its bank's queue.
     fn enqueue_transaction(&mut self, req: MemRequest) {
         let b = req.decoded.bank.0 as usize;
+        if let Some(h) = self.depth_hist.as_deref_mut() {
+            h.add(self.cmd_q[b].len() as u64);
+        }
         let hit = self.last_sched_row[b] == Some(req.decoded.row);
         let need = if hit { 1 } else { 3 };
         debug_assert!(
@@ -705,6 +722,25 @@ impl Controller {
     /// Start structured command logging on this channel.
     pub fn enable_cmd_log(&mut self) {
         self.channel.enable_cmd_log();
+    }
+
+    /// Arm the controller-level distribution histograms (per-bank queue
+    /// depth at enqueue, MERB busy-bank occupancy at pick) and the
+    /// channel's row-hit streak recorder. Observation-only.
+    pub fn enable_hist(&mut self) {
+        self.depth_hist = Some(Box::new(Histogram::latency()));
+        self.merb_occ_hist = Some(Box::new(Histogram::latency()));
+        self.channel.enable_streak_hist();
+    }
+
+    /// Recorded per-bank queue-depth distribution (None if unarmed).
+    pub fn depth_hist(&self) -> Option<&Histogram> {
+        self.depth_hist.as_deref()
+    }
+
+    /// Recorded MERB busy-bank occupancy distribution (None if unarmed).
+    pub fn merb_occ_hist(&self) -> Option<&Histogram> {
+        self.merb_occ_hist.as_deref()
     }
 
     /// Protocol violations the auditor has counted (0 when auditing is off).

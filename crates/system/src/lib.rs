@@ -29,8 +29,8 @@ pub mod table;
 pub mod trace;
 
 pub use diff::{differential_check, DiffCell, DiffReport};
-pub use metrics::RunResult;
-pub use runner::{run_grid, run_one, set_run_opts, GridCell, RunOpts};
+pub use metrics::{RunHists, RunResult};
+pub use runner::{run_grid, run_one, run_opts, set_run_opts, GridCell, RunOpts};
 pub use sim::Simulator;
 pub use table::Table;
 pub use trace::{Trace, WgEvent, WgStage};

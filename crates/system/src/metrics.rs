@@ -2,7 +2,77 @@
 
 use ldsim_gpu::sm::LoadRecord;
 use ldsim_types::clock::Cycle;
+use ldsim_types::stats::Histogram;
 use ldsim_util::json::JsonObject;
+
+/// The full per-run distributions behind the `RunResult` percentiles,
+/// collected when [`SimConfig::hist`](ldsim_types::config::SimConfig) is
+/// armed (the DRAM-gap and effective-latency pair is always recorded at
+/// collection time, so those two are populated regardless).
+///
+/// Derives `PartialEq`: the bit-exactness suites compare whole
+/// [`RunResult`]s, so an armed histogram that diverged between the
+/// fast-forward and reference loops fails the same assertion as any
+/// counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHists {
+    /// (last - first) DRAM service gap per load with >= 2 DRAM responses.
+    pub dram_gap: Histogram,
+    /// Issue-to-last-response latency per load that reached DRAM.
+    pub effective_latency: Histogram,
+    /// Per-bank command-queue depth at every transaction enqueue.
+    pub bank_queue_depth: Histogram,
+    /// Row-hit streak length (bursts per activate) at every row closure.
+    pub row_hit_streak: Histogram,
+    /// Busy-bank count at every successful read pick (the MERB view).
+    pub merb_occupancy: Histogram,
+    /// Controller read-queue depth on the 512-cycle sampling cadence.
+    pub read_queue_depth: Histogram,
+}
+
+impl RunHists {
+    pub fn new() -> Self {
+        Self {
+            dram_gap: Histogram::latency(),
+            effective_latency: Histogram::latency(),
+            bank_queue_depth: Histogram::latency(),
+            row_hit_streak: Histogram::latency(),
+            merb_occupancy: Histogram::latency(),
+            read_queue_depth: Histogram::latency(),
+        }
+    }
+
+    /// Every distribution with its export name, in a stable order.
+    pub fn iter_named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("dram_gap", &self.dram_gap),
+            ("effective_latency", &self.effective_latency),
+            ("bank_queue_depth", &self.bank_queue_depth),
+            ("row_hit_streak", &self.row_hit_streak),
+            ("merb_occupancy", &self.merb_occupancy),
+            ("read_queue_depth", &self.read_queue_depth),
+        ]
+    }
+
+    /// [`Self::iter_named`] with mutable histograms, same order — for
+    /// cross-run aggregation via [`Histogram::merge`].
+    pub fn iter_named_mut(&mut self) -> [(&'static str, &mut Histogram); 6] {
+        [
+            ("dram_gap", &mut self.dram_gap),
+            ("effective_latency", &mut self.effective_latency),
+            ("bank_queue_depth", &mut self.bank_queue_depth),
+            ("row_hit_streak", &mut self.row_hit_streak),
+            ("merb_occupancy", &mut self.merb_occupancy),
+            ("read_queue_depth", &mut self.read_queue_depth),
+        ]
+    }
+}
+
+impl Default for RunHists {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The result of one full-system simulation.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -37,6 +107,18 @@ pub struct RunResult {
     // ---- Fig. 9: effective memory latency ----
     /// Mean issue-to-last-response latency over loads that reached DRAM.
     pub avg_effective_latency: f64,
+
+    // ---- tail percentiles (always populated; see `RunHists`) ----
+    /// p50/p90/p99 of the per-load DRAM service gap, in cycles. Exact
+    /// `Histogram::quantile` semantics: 0 when no load had >= 2 DRAM
+    /// responses.
+    pub gap_p50: u64,
+    pub gap_p90: u64,
+    pub gap_p99: u64,
+    /// p50/p90/p99 of the per-load effective latency, in cycles.
+    pub eff_p50: u64,
+    pub eff_p90: u64,
+    pub eff_p99: u64,
 
     // ---- Fig. 11 and Section VI-B ----
     /// DRAM data-bus utilisation (busy cycles / total cycles, averaged over
@@ -90,6 +172,9 @@ pub struct RunResult {
     pub dropped_requests: u64,
     /// Stable FNV-1a digest of the event trace (None when tracing is off).
     pub trace_hash: Option<u64>,
+    /// Full distributions behind the percentile fields (None unless
+    /// `SimConfig::hist` armed them; boxed to keep `RunResult` small).
+    pub hists: Option<Box<RunHists>>,
 }
 
 impl RunResult {
@@ -146,6 +231,12 @@ impl RunResult {
             .f64("avg_banks_touched", self.avg_banks_touched)
             .f64("same_row_frac", self.same_row_frac)
             .f64("avg_effective_latency", self.avg_effective_latency)
+            .u64("gap_p50", self.gap_p50)
+            .u64("gap_p90", self.gap_p90)
+            .u64("gap_p99", self.gap_p99)
+            .u64("eff_p50", self.eff_p50)
+            .u64("eff_p90", self.eff_p90)
+            .u64("eff_p99", self.eff_p99)
             .f64("bw_utilization", self.bw_utilization)
             .f64("row_hit_rate", self.row_hit_rate)
             .f64("dram_power_w", self.dram_power_w)
@@ -187,6 +278,11 @@ pub(crate) struct LoadAgg {
     pub spread_cnt: u64,
     pub same_row_num: u64,
     pub same_row_den: u64,
+    /// Distribution counterparts of gap_sum/eff_sum, feeding the always-on
+    /// `RunResult` percentile fields. Built from the same records at
+    /// collection time, so they cannot perturb the simulation.
+    pub gap_hist: Histogram,
+    pub eff_hist: Histogram,
 }
 
 impl LoadAgg {
@@ -206,6 +302,8 @@ impl LoadAgg {
             spread_cnt: 0,
             same_row_num: 0,
             same_row_den: 0,
+            gap_hist: Histogram::latency(),
+            eff_hist: Histogram::latency(),
         }
     }
 
@@ -218,16 +316,20 @@ impl LoadAgg {
         if r.dram_responses >= 1 {
             self.eff_sum += r.effective_latency() as f64;
             self.eff_cnt += 1;
+            self.eff_hist.add(r.effective_latency());
         }
         if r.dram_responses >= 2 {
             self.gap_sum += r.dram_gap() as f64;
             self.gap_cnt += 1;
-            let first = r.first_dram.saturating_sub(r.issue) as f64;
+            self.gap_hist.add(r.dram_gap());
+            // A load whose first response lands on its issue cycle (an L2
+            // fill racing the issue) would divide by zero; floor the first
+            // latency at one cycle so every gap-counted load contributes to
+            // the ratio too (ratio_cnt == gap_cnt by construction).
+            let first = (r.first_dram.saturating_sub(r.issue) as f64).max(1.0);
             let last = r.last_dram.saturating_sub(r.issue) as f64;
-            if first > 0.0 {
-                self.ratio_sum += last / first;
-                self.ratio_cnt += 1;
-            }
+            self.ratio_sum += last / first;
+            self.ratio_cnt += 1;
         }
         if r.mem_reqs >= 2 {
             self.ch_sum += r.channels_touched as f64;
@@ -311,6 +413,57 @@ mod tests {
         let a = LoadAgg::new();
         assert_eq!(a.avg_gap(), 0.0);
         assert_eq!(a.avg_reqs_per_load(), 0.0);
+        assert!(a.gap_hist.is_empty() && a.eff_hist.is_empty());
+    }
+
+    #[test]
+    fn ratio_counts_every_gap_counted_load() {
+        // Regression: a first response landing on the issue cycle used to be
+        // dropped from last_first_ratio entirely, skewing it. With the
+        // one-cycle floor it contributes last/1.
+        let mut a = LoadAgg::new();
+        a.add(&rec(4, 4, 4, 100, 500)); // first == issue
+        a.add(&rec(4, 4, 4, 200, 500));
+        assert_eq!(a.gap_cnt, 2);
+        assert_eq!(
+            a.ratio_cnt, a.gap_cnt,
+            "every load with a gap must contribute a ratio"
+        );
+        // (500-100)/1 + (500-100)/(200-100), averaged.
+        assert!((a.avg_ratio() - (400.0 + 4.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agg_histograms_track_gap_and_effective_latency() {
+        let mut a = LoadAgg::new();
+        a.add(&rec(1, 0, 0, 0, 0)); // never reached DRAM: not recorded
+        a.add(&rec(4, 4, 4, 200, 500));
+        a.add(&rec(4, 4, 2, 150, 350));
+        assert_eq!(a.gap_hist.total(), 2);
+        assert_eq!(a.eff_hist.total(), 2);
+        // Gaps are 300 and 200; effective latencies 400 and 250 (vs issue
+        // 100). Exact min/max survive the bucketing.
+        assert_eq!(a.gap_hist.quantile(1.0), 300);
+        assert_eq!(a.gap_hist.quantile(0.0), 200);
+        assert_eq!(a.eff_hist.quantile(1.0), 400);
+    }
+
+    #[test]
+    fn run_hists_named_iteration_is_stable() {
+        let h = RunHists::new();
+        let names: Vec<&str> = h.iter_named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "dram_gap",
+                "effective_latency",
+                "bank_queue_depth",
+                "row_hit_streak",
+                "merb_occupancy",
+                "read_queue_depth"
+            ]
+        );
+        assert_eq!(RunHists::default(), h);
     }
 
     #[test]
@@ -330,6 +483,12 @@ mod tests {
             avg_banks_touched: 2.0,
             same_row_frac: 0.3,
             avg_effective_latency: 500.0,
+            gap_p50: 100,
+            gap_p90: 300,
+            gap_p99: 600,
+            eff_p50: 400,
+            eff_p90: 700,
+            eff_p99: 900,
             bw_utilization: 0.5,
             row_hit_rate: 0.6,
             dram_power_w: 10.0,
@@ -351,6 +510,7 @@ mod tests {
             mem_read_responses: 80,
             dropped_requests: 0,
             trace_hash: Some(42),
+            hists: None,
         };
         assert!((r.ipc() - 2.5).abs() < 1e-9);
         assert!((r.divergent_frac() - 0.5).abs() < 1e-9);

@@ -16,6 +16,7 @@ use ldsim_types::clock::Cycle;
 use ldsim_types::config::{CacheConfig, MemConfig};
 use ldsim_types::ids::{ChannelId, RequestId};
 use ldsim_types::req::{MemRequest, MemResponse, ReqKind};
+use ldsim_types::stats::Histogram;
 use std::collections::VecDeque;
 
 /// One memory partition.
@@ -37,6 +38,9 @@ pub struct Partition {
     /// Cycles (sampled) with at least one DRAM bank open, for power.
     pub active_samples: u64,
     pub total_samples: u64,
+    /// Controller read-queue depth sampled on the same 512-cycle cadence as
+    /// the activity samples (None = zero cost). Observation-only.
+    depth_hist: Option<Box<Histogram>>,
 }
 
 impl Partition {
@@ -55,7 +59,20 @@ impl Partition {
             next_wb_id: 0,
             active_samples: 0,
             total_samples: 0,
+            depth_hist: None,
         }
+    }
+
+    /// Arm this partition's sampled read-queue-depth histogram and the
+    /// controller/channel recorders behind it. Observation-only.
+    pub fn enable_hist(&mut self) {
+        self.depth_hist = Some(Box::new(Histogram::latency()));
+        self.ctrl.enable_hist();
+    }
+
+    /// Recorded sampled read-queue-depth distribution (None if unarmed).
+    pub fn depth_hist(&self) -> Option<&Histogram> {
+        self.depth_hist.as_deref()
     }
 
     /// Input-buffer capacity: kept shallow so backlog accumulates in the
@@ -215,15 +232,22 @@ impl Partition {
         if self.ctrl.channel.open_banks() > 0 {
             self.active_samples += 1;
         }
+        if let Some(h) = self.depth_hist.as_deref_mut() {
+            h.add(self.ctrl.read_backlog() as u64);
+        }
     }
 
     /// Replay `n` activity samples at once. Valid across a fast-forward
     /// skip: banks neither open nor close while the controller has no event,
-    /// so each skipped sample would have observed the same bank state.
+    /// so each skipped sample would have observed the same bank state — and
+    /// likewise the read backlog, which the bulk histogram add mirrors.
     pub fn sample_activity_many(&mut self, n: u64) {
         self.total_samples += n;
         if self.ctrl.channel.open_banks() > 0 {
             self.active_samples += n;
+        }
+        if let Some(h) = self.depth_hist.as_deref_mut() {
+            h.add_n(self.ctrl.read_backlog() as u64, n);
         }
     }
 

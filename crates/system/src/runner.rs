@@ -5,9 +5,10 @@
 use crate::metrics::RunResult;
 use crate::sim::Simulator;
 use ldsim_types::config::{SchedulerKind, SimConfig};
+use ldsim_types::kernel::KernelProgram;
 use ldsim_util::parallel_map;
 use ldsim_workloads::{benchmark, Scale};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// One (benchmark, scheduler) simulation outcome.
 #[derive(Debug, Clone)]
@@ -18,28 +19,45 @@ pub struct GridCell {
 }
 
 /// Process-wide options every [`run_one`] / [`run_grid`] call applies —
-/// how the bench binaries' `--audit` / `--trace` flags reach all nineteen
-/// figure binaries without each one threading a config through.
-#[derive(Debug, Clone, Copy, Default)]
+/// how the bench binaries' `--audit` / `--trace` / `--hist` flags reach all
+/// the figure binaries without each one threading a config through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunOpts {
     /// Attach the protocol conformance auditor to every channel; a run
     /// that ends with violations panics with the first few diagnoses.
     pub audit: bool,
     /// Record the event trace and publish its stable hash in the result.
     pub trace: bool,
+    /// Arm the in-simulator distribution histograms (`RunResult::hists`).
+    pub hist: bool,
 }
 
-static RUN_OPTS: OnceLock<RunOpts> = OnceLock::new();
+impl RunOpts {
+    fn to_bits(self) -> u8 {
+        (self.audit as u8) | (self.trace as u8) << 1 | (self.hist as u8) << 2
+    }
 
-/// Set the process-wide run options. First call wins; later calls are
-/// ignored (the bench binaries call this once, before any runs).
+    fn from_bits(bits: u8) -> Self {
+        Self {
+            audit: bits & 1 != 0,
+            trace: bits & 2 != 0,
+            hist: bits & 4 != 0,
+        }
+    }
+}
+
+static RUN_OPTS: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide run options. Last write wins and takes effect for
+/// every *subsequent* run — callers (bench binaries, tests) may flip options
+/// between runs. Runs already in flight keep the options they started with.
 pub fn set_run_opts(opts: RunOpts) {
-    let _ = RUN_OPTS.set(opts);
+    RUN_OPTS.store(opts.to_bits(), Ordering::Relaxed);
 }
 
-/// The active process-wide run options (default: both off).
+/// The active process-wide run options (default: all off).
 pub fn run_opts() -> RunOpts {
-    RUN_OPTS.get().copied().unwrap_or_default()
+    RunOpts::from_bits(RUN_OPTS.load(Ordering::Relaxed))
 }
 
 /// Run one benchmark under one scheduler, using the paper's fixed
@@ -61,14 +79,28 @@ pub fn run_one_with(
     tweak: impl Fn(&mut SimConfig),
 ) -> RunResult {
     let kernel = benchmark(bench, scale, seed).generate();
+    run_one_kernel(&kernel, bench, scale, seed, kind, tweak)
+}
+
+/// [`run_one_with`] on an already-generated kernel, so a grid can share one
+/// generation per benchmark across scheduler cells.
+fn run_one_kernel(
+    kernel: &KernelProgram,
+    bench: &str,
+    scale: Scale,
+    seed: u64,
+    kind: SchedulerKind,
+    tweak: impl Fn(&mut SimConfig),
+) -> RunResult {
     let opts = run_opts();
     let mut cfg = SimConfig::default().with_scheduler(kind);
     cfg.audit = opts.audit;
     cfg.trace = opts.trace;
+    cfg.hist = opts.hist;
     cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
     tweak(&mut cfg);
     let audit_on = cfg.audit;
-    let result = Simulator::new(cfg, &kernel).run();
+    let result = Simulator::new(cfg, kernel).run();
     if result.dropped_requests > 0 {
         panic!(
             "{} request(s) dropped at a crossbar \
@@ -84,26 +116,82 @@ pub fn run_one_with(
             result.audit_violations, result.audit_commands
         );
     }
+    check_conservation(
+        &result,
+        kernel.total_instructions(),
+        bench,
+        scale,
+        seed,
+        kind,
+    );
     result
 }
 
-/// Run every (benchmark, scheduler) pair in parallel. Kernels are generated
-/// per cell from the same seed, so all schedulers see identical workloads.
+/// Enforce read conservation (the invariant `RunResult::conserves_requests`
+/// documents). A surplus of responses is corrupt in any run (duplication);
+/// a deficit is corrupt only once every warp retired — a run cut off by the
+/// instruction budget or cycle limit legitimately has reads still in
+/// flight.
+fn check_conservation(
+    result: &RunResult,
+    kernel_instructions: u64,
+    bench: &str,
+    scale: Scale,
+    seed: u64,
+    kind: SchedulerKind,
+) {
+    if result.mem_read_responses > result.mem_read_requests {
+        panic!(
+            "read conservation violated: {} responses for {} requests \
+             (duplication) ({bench}/{kind:?}, scale {scale:?}, seed {seed})",
+            result.mem_read_responses, result.mem_read_requests
+        );
+    }
+    if result.finished && result.instructions == kernel_instructions && !result.conserves_requests()
+    {
+        panic!(
+            "read conservation violated: {} responses for {} requests on a \
+             fully drained run ({bench}/{kind:?}, scale {scale:?}, seed {seed})",
+            result.mem_read_responses, result.mem_read_requests
+        );
+    }
+}
+
+/// Run every (benchmark, scheduler) pair in parallel. Each benchmark's
+/// kernel is generated once per grid and shared read-only across its
+/// scheduler cells — every scheduler sees the identical workload, which the
+/// runner verifies by demanding identical retired-instruction counts across
+/// each benchmark row.
 pub fn run_grid(
     benches: &[&str],
     kinds: &[SchedulerKind],
     scale: Scale,
     seed: u64,
 ) -> Vec<GridCell> {
-    let pairs: Vec<(String, SchedulerKind)> = benches
+    let kernels: Vec<KernelProgram> =
+        parallel_map(benches.to_vec(), |b| benchmark(b, scale, seed).generate());
+    let pairs: Vec<(&str, &KernelProgram, SchedulerKind)> = benches
         .iter()
-        .flat_map(|b| kinds.iter().map(move |k| (b.to_string(), *k)))
+        .zip(&kernels)
+        .flat_map(|(&b, kern)| kinds.iter().map(move |&k| (b, kern, k)))
         .collect();
-    parallel_map(pairs, |(b, k)| GridCell {
-        result: run_one(&b, scale, seed, k),
-        benchmark: b,
+    let grid = parallel_map(pairs, |(b, kern, k)| GridCell {
+        result: run_one_kernel(kern, b, scale, seed, k, |_| {}),
+        benchmark: b.to_string(),
         scheduler: k,
-    })
+    });
+    for row in grid.chunks(kinds.len()) {
+        let first = &row[0];
+        for c in row {
+            assert_eq!(
+                c.result.instructions, first.result.instructions,
+                "{}: {:?} retired a different instruction count than {:?} — \
+                 schedulers did not see the same workload",
+                c.benchmark, c.scheduler, first.scheduler
+            );
+        }
+    }
+    grid
 }
 
 /// Pull one cell out of a grid.
@@ -160,5 +248,90 @@ mod tests {
     fn missing_cell_panics() {
         let grid = run_grid(&["bfs"], &[SchedulerKind::Gmc], Scale::Tiny, 7);
         cell(&grid, "bfs", SchedulerKind::WgW);
+    }
+
+    #[test]
+    fn run_opts_bits_round_trip() {
+        for bits in 0..8u8 {
+            assert_eq!(RunOpts::from_bits(bits).to_bits(), bits);
+        }
+        assert_eq!(RunOpts::default().to_bits(), 0);
+    }
+
+    #[test]
+    fn flipping_run_opts_between_runs_takes_effect() {
+        // Regression: the old OnceLock store was first-call-wins, so a test
+        // (or bench binary) arming trace after any earlier run silently kept
+        // the stale options.
+        set_run_opts(RunOpts {
+            audit: false,
+            trace: true,
+            hist: false,
+        });
+        let a = run_one("bfs", Scale::Tiny, 3, SchedulerKind::Gmc);
+        assert!(a.trace_hash.is_some(), "first write must apply");
+        assert!(a.hists.is_none());
+        set_run_opts(RunOpts {
+            audit: true,
+            trace: false,
+            hist: true,
+        });
+        assert_eq!(run_opts().to_bits(), 0b101);
+        let b = run_one("bfs", Scale::Tiny, 3, SchedulerKind::Gmc);
+        assert!(b.trace_hash.is_none(), "flipping trace off must apply");
+        assert!(b.hists.is_some(), "flipping hist on must apply");
+        assert!(b.audit_commands > 0, "flipping audit on must apply");
+        set_run_opts(RunOpts::default());
+    }
+
+    #[test]
+    fn fully_drained_run_conserves_reads() {
+        // Lift the instruction budget so the run drains completely; the
+        // runner's conservation check must then demand exact equality (and
+        // this run must satisfy it).
+        let r = run_one_with("spmv", Scale::Tiny, 5, SchedulerKind::Wg, |cfg| {
+            cfg.instruction_limit = None;
+        });
+        assert!(r.finished);
+        assert!(r.conserves_requests());
+        assert!(r.mem_read_requests > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplication")]
+    fn duplicated_responses_panic_even_unfinished() {
+        let r = RunResult {
+            mem_read_requests: 10,
+            mem_read_responses: 11,
+            finished: false,
+            ..Default::default()
+        };
+        check_conservation(&r, 1000, "bfs", Scale::Tiny, 7, SchedulerKind::Gmc);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully drained")]
+    fn lost_responses_panic_on_drained_runs() {
+        let r = RunResult {
+            mem_read_requests: 10,
+            mem_read_responses: 9,
+            finished: true,
+            instructions: 1000,
+            ..Default::default()
+        };
+        check_conservation(&r, 1000, "bfs", Scale::Tiny, 7, SchedulerKind::Gmc);
+    }
+
+    #[test]
+    fn budget_cut_run_may_have_reads_in_flight() {
+        // A deficit on a run stopped by the instruction budget is legal.
+        let r = RunResult {
+            mem_read_requests: 10,
+            mem_read_responses: 7,
+            finished: true,
+            instructions: 700,
+            ..Default::default()
+        };
+        check_conservation(&r, 1000, "bfs", Scale::Tiny, 7, SchedulerKind::Gmc);
     }
 }

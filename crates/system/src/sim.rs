@@ -1,6 +1,6 @@
 //! The cycle-level full-system simulator.
 
-use crate::metrics::{LoadAgg, RunResult};
+use crate::metrics::{LoadAgg, RunHists, RunResult};
 use crate::partition::Partition;
 use crate::trace::{Trace, WgEvent, WgStage};
 use ldsim_gddr5::{Channel, MerbTable, PowerModel, PowerParams};
@@ -99,7 +99,12 @@ impl Simulator {
                     merb.clone(),
                     zero_div,
                 );
-                Partition::new(ChannelId(c as u8), &cfg.gpu.l2_slice, &cfg.mem, ctrl)
+                let mut part =
+                    Partition::new(ChannelId(c as u8), &cfg.gpu.l2_slice, &cfg.mem, ctrl);
+                if cfg.hist {
+                    part.enable_hist();
+                }
+                part
             })
             .collect();
 
@@ -423,6 +428,9 @@ impl Simulator {
             if self.cfg.trace {
                 channel_cmds.push(p.ctrl.channel.take_cmd_log());
             }
+            // Rows still open at end of run never saw their closing PRE;
+            // record their streaks now, before the read-only stats pass.
+            p.ctrl.channel.flush_streak_hist();
         }
         let scheduler_name = if self.cfg.perfect_coalescing {
             format!("{}+PerfectCoalesce", self.cfg.scheduler.name())
@@ -447,6 +455,14 @@ impl Simulator {
         let trace_hash = trace.as_ref().map(|t| t.stable_hash());
 
         let mut agg = LoadAgg::new();
+        // Retired-instruction total, clamped to the instruction budget: the
+        // loop detects budget exhaustion at end-of-cycle, so the raw sum
+        // overshoots by however many instructions retired in the final
+        // cycle — an amount that varies per scheduler. Under the paper's
+        // fixed-budget methodology every scheduler must be measured over
+        // the *same* instruction count, so the overshoot is trimmed here
+        // (the cycle count still includes the final cycle for all of them).
+        let budget = self.cfg.instruction_limit.unwrap_or(u64::MAX);
         let mut instructions = 0u64;
         let mut l1_hits = 0u64;
         let mut l1_total = 0u64;
@@ -507,12 +523,35 @@ impl Simulator {
         }
         let nch = self.partitions.len() as f64;
 
+        let hists = if self.cfg.hist {
+            let mut h = RunHists::new();
+            h.dram_gap = agg.gap_hist.clone();
+            h.effective_latency = agg.eff_hist.clone();
+            for p in &self.partitions {
+                if let Some(x) = p.ctrl.depth_hist() {
+                    h.bank_queue_depth.merge(x);
+                }
+                if let Some(x) = p.ctrl.channel.streak_hist() {
+                    h.row_hit_streak.merge(x);
+                }
+                if let Some(x) = p.ctrl.merb_occ_hist() {
+                    h.merb_occupancy.merge(x);
+                }
+                if let Some(x) = p.depth_hist() {
+                    h.read_queue_depth.merge(x);
+                }
+            }
+            Some(Box::new(h))
+        } else {
+            None
+        };
+
         let result = RunResult {
             benchmark: self.benchmark,
             scheduler: scheduler_name,
             finished,
             cycles,
-            instructions,
+            instructions: instructions.min(budget),
             loads: agg.loads,
             divergent_loads: agg.divergent,
             avg_reqs_per_load: agg.avg_reqs_per_load(),
@@ -522,6 +561,12 @@ impl Simulator {
             avg_banks_touched: agg.avg_banks(),
             same_row_frac: agg.same_row_frac(),
             avg_effective_latency: agg.avg_eff(),
+            gap_p50: agg.gap_hist.quantile(0.5),
+            gap_p90: agg.gap_hist.quantile(0.9),
+            gap_p99: agg.gap_hist.quantile(0.99),
+            eff_p50: agg.eff_hist.quantile(0.5),
+            eff_p90: agg.eff_hist.quantile(0.9),
+            eff_p99: agg.eff_hist.quantile(0.99),
             bw_utilization: bw / nch,
             row_hit_rate: if cols == 0 {
                 0.0
@@ -559,6 +604,7 @@ impl Simulator {
             mem_read_responses: self.mem_read_responses,
             dropped_requests: self.lost_requests,
             trace_hash,
+            hists,
         };
         (result, trace)
     }
@@ -730,6 +776,46 @@ mod tests {
             // One sample per completed 512-cycle window (cycles 511, 1023, …).
             assert_eq!(f.total_samples, (end_f + 1) / 512);
         }
+    }
+
+    #[test]
+    fn armed_histograms_are_neutral_and_populated() {
+        // Arming the recorders must not change a single bit of the run
+        // (same trace hash, same counters), only attach the distributions.
+        let kernel = tiny_kernel(16, 24);
+        let cfg = SimConfig {
+            max_cycles: 4_000_000,
+            ..SimConfig::default()
+        }
+        .with_trace();
+        let (off, off_trace) = Simulator::new(cfg.clone(), &kernel).run_traced();
+        let (on, on_trace) = Simulator::new(cfg.with_hist(), &kernel).run_traced();
+        assert_eq!(
+            off_trace.map(|t| t.stable_hash()),
+            on_trace.map(|t| t.stable_hash()),
+            "recording perturbed the simulation"
+        );
+        assert!(off.hists.is_none());
+        let mut stripped = on.clone();
+        stripped.hists = None;
+        assert_eq!(stripped, off, "armed run differs beyond the hists field");
+        let h = on.hists.expect("armed run must carry distributions");
+        assert!(h.dram_gap.total() > 0);
+        assert!(h.effective_latency.total() > 0);
+        assert!(h.bank_queue_depth.total() > 0);
+        assert!(h.row_hit_streak.total() > 0);
+        assert!(h.merb_occupancy.total() > 0);
+        assert!(
+            h.read_queue_depth.total() > 0,
+            "run crossed no sample cadence"
+        );
+        // The always-on percentile fields agree with the full distributions
+        // and are monotone in q.
+        assert_eq!(on.gap_p99, h.dram_gap.quantile(0.99));
+        assert_eq!(on.eff_p50, h.effective_latency.quantile(0.5));
+        assert!(on.gap_p50 <= on.gap_p90 && on.gap_p90 <= on.gap_p99);
+        assert!(on.eff_p50 <= on.eff_p90 && on.eff_p90 <= on.eff_p99);
+        assert!(off.eff_p50 > 0, "percentiles populate without arming");
     }
 
     #[test]

@@ -366,6 +366,12 @@ pub struct SimConfig {
     /// progress (event-horizon skipping). Bit-exact with the cycle-by-cycle
     /// loop; on by default. Disable to force the reference loop.
     pub fast_forward: bool,
+    /// Arm the in-simulator latency histograms (per-bank queue depth at
+    /// enqueue, row-hit streak length, MERB occupancy, sampled read-queue
+    /// depth). Recording is observation-only — armed runs are bit-exact
+    /// with unarmed ones — but costs a few counter increments per DRAM
+    /// command, so it is off by default.
+    pub hist: bool,
 }
 
 impl Default for SimConfig {
@@ -381,6 +387,7 @@ impl Default for SimConfig {
             audit: false,
             trace: false,
             fast_forward: true,
+            hist: false,
         }
     }
 }
@@ -406,6 +413,12 @@ impl SimConfig {
     /// Enable or disable idle-cycle fast-forwarding (on by default).
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Arm the in-simulator distribution histograms.
+    pub fn with_hist(mut self) -> Self {
+        self.hist = true;
         self
     }
 

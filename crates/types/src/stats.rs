@@ -28,49 +28,222 @@ impl RunningMean {
     }
 }
 
-/// A fixed-bucket histogram with a final overflow bucket.
+/// A log-bucketed histogram for latency-style distributions (HDR-style).
+///
+/// Bucket scheme, parameterised by `sub_bits` (call it *k*) and `max_exp`:
+///
+/// * values below `2^k` get one bucket each (exact);
+/// * each octave `[2^m, 2^(m+1))` with `m >= k` is split into `2^(k-1)`
+///   equal sub-buckets, bounding the relative bucket width by `2^-(k-1)`
+///   (6.25% for the default `k = 5`);
+/// * values at or above `2^max_exp` share one final overflow bucket.
+///
+/// The memory cost is fixed at construction — `(max_exp - k + 2) *
+/// 2^(k-1) + 1` counters, 465 for the default scheme — so recording is a
+/// single index computation plus a counter increment and never allocates:
+/// safe to arm inside the simulator without perturbing it.
+///
+/// `quantile` has *exact documented semantics* (see its doc comment) —
+/// callers can rely on `quantile(0.0) == min()`, `quantile(1.0) == max()`,
+/// and every returned value being within one bucket of the true sample
+/// quantile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
-    pub bucket_width: u64,
-    pub buckets: Vec<u64>,
-    pub total: u64,
-    pub max_seen: u64,
+    /// Sub-bucket resolution: 2^sub_bits one-value buckets below
+    /// 2^sub_bits, then 2^(sub_bits-1) buckets per octave.
+    sub_bits: u32,
+    /// Values at or above 2^max_exp land in the final overflow bucket.
+    max_exp: u32,
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min_seen: u64,
+    max_seen: u64,
 }
 
 impl Histogram {
-    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
-        assert!(bucket_width > 0 && num_buckets > 0);
+    /// A log2 histogram with `sub_bits` resolution covering `[0, 2^max_exp)`
+    /// plus an overflow bucket.
+    pub fn log2(sub_bits: u32, max_exp: u32) -> Self {
+        assert!(
+            (1..=16).contains(&sub_bits) && max_exp > sub_bits && max_exp < 64,
+            "need 1 <= sub_bits ({sub_bits}) < max_exp ({max_exp}) < 64"
+        );
+        let half = 1usize << (sub_bits - 1);
+        // Highest finite index is (max_exp - sub_bits + 2) * half - 1 (see
+        // `index`); one more bucket for overflow.
+        let len = (max_exp - sub_bits + 2) as usize * half + 1;
         Self {
-            bucket_width,
-            buckets: vec![0; num_buckets],
+            sub_bits,
+            max_exp,
+            buckets: vec![0; len],
             total: 0,
+            sum: 0,
+            min_seen: 0,
             max_seen: 0,
         }
     }
 
-    #[inline]
-    pub fn add(&mut self, sample: u64) {
-        let idx = ((sample / self.bucket_width) as usize).min(self.buckets.len() - 1);
-        self.buckets[idx] += 1;
-        self.total += 1;
-        self.max_seen = self.max_seen.max(sample);
+    /// The canonical latency scheme: exact below 32, at most 6.25% relative
+    /// bucket width up to 2^32 cycles (far beyond any simulated run), then
+    /// overflow. Also used for the small-valued distributions (queue depths,
+    /// streaks, occupancies), which its linear region captures exactly.
+    pub fn latency() -> Self {
+        Self::log2(5, 32)
     }
 
-    /// Value at or below which `q` (0..=1) of samples fall, approximated at
-    /// bucket granularity.
+    /// Bucket index of `v`.
+    #[inline]
+    fn index(&self, v: u64) -> usize {
+        let k = self.sub_bits;
+        if v < (1u64 << k) {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        if msb >= self.max_exp {
+            return self.buckets.len() - 1;
+        }
+        let exp = msb - k + 1;
+        (exp as usize) * (1usize << (k - 1)) + (v >> exp) as usize
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (u64, u64) {
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        let k = self.sub_bits;
+        let half = 1usize << (k - 1);
+        if i == self.buckets.len() - 1 {
+            return (1u64 << self.max_exp, u64::MAX);
+        }
+        if i < 2 * half {
+            return (i as u64, i as u64);
+        }
+        let exp = (i / half - 1) as u32;
+        let lo = ((i % half + half) as u64) << exp;
+        (lo, lo + (1u64 << exp) - 1)
+    }
+
+    #[inline]
+    pub fn add(&mut self, sample: u64) {
+        self.add_n(sample, 1);
+    }
+
+    /// Record `sample` `n` times at once — the bulk form used when the
+    /// fast-forwarded main loop replays skipped sampling cadences in closed
+    /// form, keeping armed histograms bit-exact with the reference loop.
+    pub fn add_n(&mut self, sample: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = self.index(sample);
+        self.buckets[i] += n;
+        if self.total == 0 {
+            self.min_seen = sample;
+            self.max_seen = sample;
+        } else {
+            self.min_seen = self.min_seen.min(sample);
+            self.max_seen = self.max_seen.max(sample);
+        }
+        self.total += n;
+        self.sum += sample as u128 * n as u128;
+    }
+
+    /// Fold `other` into `self`. Both must use the same bucket scheme.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.sub_bits == other.sub_bits && self.max_exp == other.max_exp,
+            "merging incompatible histogram schemes"
+        );
+        if other.total == 0 {
+            return;
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        if self.total == 0 {
+            self.min_seen = other.min_seen;
+            self.max_seen = other.max_seen;
+        } else {
+            self.min_seen = self.min_seen.min(other.min_seen);
+            self.max_seen = self.max_seen.max(other.max_seen);
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min_seen
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Exact arithmetic mean of the recorded samples (not bucket midpoints;
+    /// the sum is carried alongside the counters). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at or below which a fraction `q` of samples fall.
+    ///
+    /// Exact semantics:
+    /// * an empty histogram returns 0 for every `q`;
+    /// * `q <= 0` returns [`Self::min`];
+    /// * otherwise the target rank is `ceil(q * total)` clamped to
+    ///   `[1, total]`; buckets are walked in value order until the
+    ///   cumulative count reaches the rank, and that bucket's inclusive
+    ///   upper bound is returned, clamped into `[min(), max()]`.
+    ///
+    /// Consequences: `quantile(1.0) == max()` exactly; every return value
+    /// is `>=` the true rank-`target` sample and overshoots it by at most
+    /// one bucket width (`<= 2^-(sub_bits-1)` relative, zero below
+    /// `2^sub_bits`).
     pub fn quantile(&self, q: f64) -> u64 {
+        assert!(!q.is_nan(), "quantile of NaN");
         if self.total == 0 {
             return 0;
         }
-        let target = (q * self.total as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
+        if q <= 0.0 {
+            return self.min_seen;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
             if seen >= target {
-                return (i as u64 + 1) * self.bucket_width;
+                let (_, hi) = self.bucket_bounds(i);
+                return hi.clamp(self.min_seen, self.max_seen);
             }
         }
         self.max_seen
+    }
+
+    /// The occupied buckets as `(lo, hi, count)` triples in value order —
+    /// the JSONL dump format of the `--hist` exports.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = self.bucket_bounds(i);
+                (lo, hi, c)
+            })
     }
 }
 
@@ -121,25 +294,173 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_overflow() {
-        let mut h = Histogram::new(10, 4);
-        for s in [0, 5, 9, 10, 25, 39, 1000] {
-            h.add(s);
+    fn histogram_empty() {
+        let h = Histogram::latency();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
         }
-        assert_eq!(h.buckets, vec![3, 1, 1, 2]);
-        assert_eq!(h.total, 7);
-        assert_eq!(h.max_seen, 1000);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
     }
 
     #[test]
-    fn histogram_quantile() {
-        let mut h = Histogram::new(1, 100);
-        for s in 0..100u64 {
-            h.add(s);
+    fn histogram_single_value_is_exact_at_every_quantile() {
+        // One distinct sample occupies one bucket; the clamp into
+        // [min, max] makes every quantile return it exactly, even when
+        // the bucket is wide (1_000_000 sits in a 2^15-wide bucket).
+        for v in [0u64, 1, 31, 32, 47, 1_000_000] {
+            let mut h = Histogram::latency();
+            h.add_n(v, 7);
+            for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+            assert_eq!(h.mean(), v as f64);
+            assert_eq!((h.min(), h.max(), h.total()), (v, v, 7));
         }
-        assert_eq!(h.quantile(0.5), 50);
-        assert!(h.quantile(0.99) >= 98);
-        assert_eq!(Histogram::new(1, 4).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_clamps_to_max_seen() {
+        let mut h = Histogram::log2(5, 8); // overflow at 256
+        h.add(5);
+        h.add(1000);
+        h.add(40_000);
+        // Rank 2 and 3 both land in the overflow bucket, whose inclusive
+        // upper bound (u64::MAX) must clamp to the largest real sample.
+        assert_eq!(h.quantile(0.5), 40_000);
+        assert_eq!(h.quantile(1.0), 40_000);
+        assert_eq!(h.quantile(0.0), 5);
+        let (lo, hi, cnt) = h.nonzero_buckets().last().unwrap();
+        assert_eq!((lo, hi, cnt), (256, u64::MAX, 2));
+    }
+
+    #[test]
+    fn histogram_q0_and_q1_are_min_and_max() {
+        let mut h = Histogram::latency();
+        for v in [3u64, 90, 17, 500_000, 17] {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(-1.0), 3);
+        assert_eq!(h.quantile(1.0), 500_000);
+        assert_eq!(h.quantile(2.0), 500_000);
+    }
+
+    #[test]
+    fn histogram_linear_region_is_exact() {
+        // Below 2^sub_bits every value has its own bucket, so quantiles
+        // are exact order statistics (upper variant).
+        let mut h = Histogram::latency();
+        for v in 0..32u64 {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.5), 15); // rank ceil(0.5*32)=16 -> value 15
+        assert_eq!(h.quantile(0.25), 7);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.mean(), 15.5);
+    }
+
+    #[test]
+    fn histogram_bounds_are_contiguous_and_roundtrip() {
+        let h = Histogram::log2(5, 12);
+        let mut expected_lo = 0u64;
+        let n = {
+            // finite buckets only; the overflow bucket is checked after.
+            let mut i = 0;
+            while h.bucket_bounds(i).1 != u64::MAX {
+                i += 1;
+            }
+            i
+        };
+        for i in 0..n {
+            let (lo, hi) = h.bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "gap before bucket {i}");
+            assert!(hi >= lo);
+            // Every value inside the bucket indexes back to it.
+            for v in [lo, (lo + hi) / 2, hi] {
+                assert_eq!(h.index(v), i, "v={v}");
+            }
+            expected_lo = hi + 1;
+        }
+        assert_eq!(expected_lo, 1 << 12, "finite range must end at 2^max_exp");
+        assert_eq!(h.bucket_bounds(n), (1 << 12, u64::MAX));
+        assert_eq!(h.index(1 << 12), n);
+        assert_eq!(h.index(u64::MAX), n);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_adds() {
+        let mut a = Histogram::latency();
+        let mut b = Histogram::latency();
+        let mut both = Histogram::latency();
+        for (i, v) in [0u64, 5, 33, 900, 70_000, 12].iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(*v)
+            } else {
+                b.add(*v)
+            }
+            both.add(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram is a no-op either way.
+        a.merge(&Histogram::latency());
+        assert_eq!(a, both);
+        let mut empty = Histogram::latency();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn histogram_merge_rejects_mismatched_schemes() {
+        let mut a = Histogram::log2(5, 32);
+        a.merge(&Histogram::log2(4, 32));
+    }
+
+    /// Property test (seeded LCG — no external crates): for random sample
+    /// sets, `quantile(q)` must lie between the exact upper order statistic
+    /// and that statistic scaled by one bucket width (6.25% for sub_bits=5).
+    #[test]
+    fn histogram_quantile_tracks_exact_order_statistics() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 400) as usize;
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| match next() % 3 {
+                    0 => next() % 32,         // linear region
+                    1 => next() % 4096,       // low octaves
+                    _ => next() % 10_000_000, // deep octaves
+                })
+                .collect();
+            let mut h = Histogram::latency();
+            for &s in &samples {
+                h.add(s);
+            }
+            samples.sort_unstable();
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = samples[rank - 1];
+                let got = h.quantile(q);
+                assert!(
+                    got >= exact,
+                    "trial {trial} q={q}: quantile {got} below exact {exact}"
+                );
+                let bound = exact + exact / 16 + 1;
+                assert!(
+                    got <= bound,
+                    "trial {trial} q={q}: quantile {got} exceeds bound {bound} (exact {exact})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@ use ldsim::system::Trace;
 
 fn traced_run(bench: &str, kind: SchedulerKind, seed: u64) -> (RunResult, Option<Trace>) {
     let kernel = benchmark(bench, Scale::Tiny, seed).generate();
+    // Histograms armed: `RunResult` equality then also demands identical
+    // distributions (every bucket of all six), not just identical moments.
     let cfg = SimConfig::default()
         .with_scheduler(kind)
         .with_audit()
-        .with_trace();
+        .with_trace()
+        .with_hist();
     Simulator::new(cfg, &kernel).run_traced()
 }
 

@@ -23,10 +23,16 @@ const LADDER: &[SchedulerKind] = &[
 ];
 
 /// Run one benchmark × scheduler pair at `scale` with fast-forward on and
-/// off, and demand bit-exact results and traces.
+/// off, and demand bit-exact results and traces. Histograms stay armed, so
+/// every recorded distribution — including the sampled read-queue depth,
+/// which the skip loop replays via bulk adds — must also match bucket for
+/// bucket (`RunResult` equality covers `hists`).
 fn assert_bitexact(bench: &str, kind: SchedulerKind, scale: Scale, seed: u64) {
     let kernel = benchmark(bench, scale, seed).generate();
-    let cfg = SimConfig::default().with_scheduler(kind).with_trace();
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_trace()
+        .with_hist();
     let (fast, fast_trace) = Simulator::new(cfg.clone(), &kernel).run_traced();
     let (slow, slow_trace) = Simulator::new(cfg.with_fast_forward(false), &kernel).run_traced();
     assert!(fast.finished, "{bench}/{kind:?} did not finish");
