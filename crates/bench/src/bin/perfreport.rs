@@ -1,0 +1,146 @@
+//! Wall-clock performance report for the busy-cycle hot paths.
+//!
+//! Times full simulator runs (kernel generation excluded) of the busy —
+//! i.e. not idle-dominated — irregular benchmarks under WG-W, the scheme
+//! that exercises every pick path (bank-aware SJF scoring, the MERB gate,
+//! the unit-group write pre-drain and the drain bypass), in two modes:
+//!
+//! * **indexed** — the default incremental-index pick paths plus the
+//!   controller's ready-cycle cache (DESIGN.md §13);
+//! * **reference** — the original scan-based picks, kept behind
+//!   `SimConfig::with_reference_picks(true)` for differential testing.
+//!
+//! Both modes run on the *current* build, so their ratio isolates the
+//! pick-path indexing alone. The overall PR-4 trajectory additionally
+//! includes the queue/hashing overhaul and the release-profile LTO tuning,
+//! which speed up both modes equally; to keep that visible, the report also
+//! embeds the per-rep seconds measured at the pre-overhaul seed commit
+//! (`eabfeb8`, same machine class, Small scale, WG-W, seed 11) and the
+//! resulting end-to-end speedup. Those baseline constants are a recorded
+//! measurement, not something this binary can reproduce — they are only
+//! emitted at Small scale, where they were taken.
+//!
+//! Each benchmark runs one untimed warm-up per mode, then `reps` timed
+//! runs; the reported figure is the median, so one scheduling-noise
+//! outlier cannot skew a row. Results go to `BENCH_perf.json` in the
+//! working directory (single JSON document, not JSON lines — this file is
+//! the perf trajectory artifact CI archives, not figure provenance).
+
+use ldsim_bench::cli;
+use ldsim_system::table::Table;
+use ldsim_system::Simulator;
+use ldsim_types::config::{SchedulerKind, SimConfig};
+use ldsim_types::kernel::KernelProgram;
+use ldsim_util::json::JsonObject;
+use ldsim_workloads::{benchmark, Scale};
+use std::io::Write;
+use std::time::Instant;
+
+/// Busy benchmarks: every irregular workload whose run is dominated by
+/// in-flight memory traffic rather than idle-cycle fast-forwarding (nw is
+/// excluded — it finishes in milliseconds and times pure noise).
+const BUSY: &[&str] = &["sp", "kmeans", "spmv", "sssp", "bfs"];
+
+/// Per-rep seconds at the seed commit (`eabfeb8`): Small scale, WG-W,
+/// seed 11, 70% instruction budget, release build, 20-rep average.
+fn seed_baseline_small_s(bench: &str) -> Option<f64> {
+    match bench {
+        "sp" => Some(0.2359),
+        "kmeans" => Some(0.1282),
+        "spmv" => Some(0.0929),
+        "sssp" => Some(0.0739),
+        "bfs" => Some(0.0234),
+        _ => None,
+    }
+}
+
+/// Median of `reps` timed runs of one (kernel, mode), after one warm-up.
+fn time_runs(kernel: &KernelProgram, kind: SchedulerKind, reference: bool, reps: usize) -> f64 {
+    let make_cfg = || {
+        let mut cfg = SimConfig::default()
+            .with_scheduler(kind)
+            .with_reference_picks(reference);
+        cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
+        cfg
+    };
+    let warm = Simulator::new(make_cfg(), kernel).run();
+    assert!(warm.finished, "warm-up run did not finish");
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = Simulator::new(make_cfg(), kernel).run();
+        samples.push(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            r.cycles, warm.cycles,
+            "nondeterministic rep — timing would compare different work"
+        );
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let (scale, seed) = cli();
+    let kind = SchedulerKind::WgW;
+    // Tiny runs are short enough that more reps cost nothing and steady the
+    // median; Small reps are ~0.1 s each, so keep CI wall-clock bounded.
+    let reps = if scale == Scale::Tiny { 9 } else { 5 };
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "indexed s/rep",
+        "reference s/rep",
+        "pick speedup",
+        "seed baseline s",
+        "total speedup",
+    ]);
+    let mut rows = Vec::new();
+    for &bench in BUSY {
+        let kernel = benchmark(bench, scale, seed).generate();
+        let indexed_s = time_runs(&kernel, kind, false, reps);
+        let reference_s = time_runs(&kernel, kind, true, reps);
+        let pick_speedup = reference_s / indexed_s;
+        let baseline = if scale == Scale::Small {
+            seed_baseline_small_s(bench)
+        } else {
+            None
+        };
+        let total_speedup = baseline.map(|b| b / indexed_s);
+        t.row(vec![
+            bench.to_string(),
+            format!("{indexed_s:.4}"),
+            format!("{reference_s:.4}"),
+            format!("{pick_speedup:.2}x"),
+            baseline.map_or("-".into(), |b| format!("{b:.4}")),
+            total_speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+        ]);
+        let mut row = JsonObject::new();
+        row.str("benchmark", bench)
+            .f64("indexed_s", indexed_s)
+            .f64("reference_s", reference_s)
+            .f64("pick_speedup", pick_speedup);
+        match (baseline, total_speedup) {
+            (Some(b), Some(s)) => row.f64("seed_baseline_s", b).f64("total_speedup", s),
+            _ => row.null("seed_baseline_s").null("total_speedup"),
+        };
+        rows.push(row.build());
+    }
+
+    println!("perfreport — busy-benchmark wall clock, indexed vs reference picks ({kind:?})\n");
+    t.print();
+    println!(
+        "\npick speedup = reference/indexed on this build; total speedup = \
+         seed-commit baseline / indexed (Small only, where the baseline was measured)."
+    );
+
+    let doc = format!(
+        "{{\"report\":\"perfreport\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
+         \"scheduler\":\"{kind:?}\",\"reps\":{reps},\
+         \"baseline_commit\":\"eabfeb8\",\"rows\":[{}]}}",
+        rows.join(",")
+    );
+    let path = "BENCH_perf.json";
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    writeln!(f, "{doc}").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -15,7 +15,8 @@ use ldsim_types::clock::Cycle;
 use ldsim_types::config::{MemConfig, SchedulerKind};
 use ldsim_types::ids::WarpGroupId;
 use ldsim_types::req::MemRequest;
-use std::collections::HashMap;
+use ldsim_util::{FnvHashMap, FnvHashSet};
+use std::collections::BTreeMap;
 
 /// Which of the paper's refinements are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,10 +90,23 @@ impl WgFlags {
 struct GroupEntry {
     reqs: Vec<MemRequest>,
     /// Arrival order of the group's first request (final tie-breaker,
-    /// guaranteeing forward progress).
+    /// guaranteeing forward progress). Immutable for the group's lifetime
+    /// and unique across live groups — the seq-keyed indexes below rely on
+    /// both properties.
     seq: u64,
     /// Cycle the group's first request arrived (starvation guard).
     first_arrival: Cycle,
+}
+
+/// Pending requests for one `(bank, row)` pair, indexed for the MERB gate
+/// (DESIGN.md §13): total count (orphan control needs it) plus, per holding
+/// group, the group's seq and its share of the count — so "oldest group with
+/// a pending hit on this row" is the first key of `by_seq` instead of a scan
+/// over every group's request list.
+#[derive(Debug, Default, Clone)]
+struct RowTally {
+    count: u32,
+    by_seq: BTreeMap<u64, (WarpGroupId, u32)>,
 }
 
 /// The warp-aware transaction scheduler.
@@ -103,7 +117,7 @@ pub struct WarpGroupPolicy {
     /// this is force-prioritised (the same liveness rule the GMC baseline
     /// applies; plain SJF would starve large warp-groups indefinitely).
     age_threshold: Cycle,
-    groups: HashMap<WarpGroupId, GroupEntry>,
+    groups: FnvHashMap<WarpGroupId, GroupEntry>,
     /// Requests pending per bank.
     bank_count: Vec<usize>,
     total: usize,
@@ -113,10 +127,27 @@ pub struct WarpGroupPolicy {
     /// Lowest remote completion score received per group (WG-M): the local
     /// score is capped at this value, prioritising warps already serviced
     /// elsewhere.
-    remote_cap: HashMap<WarpGroupId, u32>,
+    remote_cap: FnvHashMap<WarpGroupId, u32>,
     coord_out: Vec<CoordMsg>,
     /// Scratch for score computation (see [`group_score`]).
     scratch: Vec<u32>,
+    /// Every live group, ordered by `seq` (incremental index, DESIGN.md
+    /// §13): the starvation guard, the partial-group fallback and the
+    /// bypass candidate walk all read oldest-first from here instead of
+    /// scanning + sorting the group map.
+    by_seq: BTreeMap<u64, WarpGroupId>,
+    /// Live groups with exactly one pending request, ordered by `seq`
+    /// (WG-W's unit-group pre-drain pick).
+    unit_by_seq: BTreeMap<u64, WarpGroupId>,
+    /// Per bank: row → pending-request tally (the MERB gate's index).
+    row_tally: Vec<FnvHashMap<u32, RowTally>>,
+    /// Route picks through the original scan-based implementations instead
+    /// of the indexes — the differential-testing escape hatch. The indexes
+    /// are still maintained; they are just not consulted.
+    reference_picks: bool,
+    /// Reusable pick-path scratch (avoids per-pick allocation).
+    scratch_ids: Vec<WarpGroupId>,
+    scratch_scored: Vec<(GroupScore, WarpGroupId)>,
     /// Stats: MERB substitutions performed (row-hits inserted before a
     /// gated row-miss).
     pub merb_substitutions: u64,
@@ -127,7 +158,7 @@ pub struct WarpGroupPolicy {
     /// Stats: coordination messages that lowered a local score.
     pub coord_cap_applied: u64,
     /// Groups flagged as shared by multiple warps (WG-S, Section VIII).
-    shared: std::collections::HashSet<WarpGroupId>,
+    shared: FnvHashSet<WarpGroupId>,
     /// Stats: selections where sharing broke the tie.
     pub shared_promotions: u64,
 }
@@ -148,20 +179,26 @@ impl WarpGroupPolicy {
             flags,
             name,
             age_threshold,
-            groups: HashMap::new(),
+            groups: FnvHashMap::default(),
             bank_count: vec![0; num_banks],
             total: 0,
             seq: 0,
             active: None,
-            remote_cap: HashMap::new(),
+            remote_cap: FnvHashMap::default(),
             coord_out: Vec::new(),
             scratch: vec![0; num_banks.max(48)],
             merb_substitutions: 0,
             wgw_priority_grants: 0,
             groups_selected: 0,
             coord_cap_applied: 0,
-            shared: std::collections::HashSet::new(),
+            shared: FnvHashSet::default(),
             shared_promotions: 0,
+            by_seq: BTreeMap::new(),
+            unit_by_seq: BTreeMap::new(),
+            row_tally: vec![FnvHashMap::default(); num_banks],
+            reference_picks: false,
+            scratch_ids: Vec::new(),
+            scratch_scored: Vec::new(),
         }
     }
 
@@ -169,20 +206,104 @@ impl WarpGroupPolicy {
         self.flags
     }
 
-    fn take_req(&mut self, wg: WarpGroupId, idx: usize) -> MemRequest {
-        let entry = self.groups.get_mut(&wg).expect("group exists");
-        let r = entry.reqs.swap_remove(idx);
-        self.bank_count[r.decoded.bank.0 as usize] -= 1;
-        self.total -= 1;
-        if entry.reqs.is_empty() {
-            self.groups.remove(&wg);
-            self.remote_cap.remove(&wg);
-            self.shared.remove(&wg);
-            if self.active == Some(wg) {
-                self.active = None;
+    /// Route picks through the original scan-based paths (differential
+    /// testing only — see DESIGN.md §13).
+    pub fn set_reference_picks(&mut self, on: bool) {
+        self.reference_picks = on;
+    }
+
+    /// Internal invariant check (tests): the incremental indexes must
+    /// describe exactly the same pending state as the group map.
+    #[cfg(test)]
+    fn check_index_invariants(&self) {
+        assert_eq!(self.by_seq.len(), self.groups.len());
+        for (seq, wg) in &self.by_seq {
+            assert_eq!(self.groups[wg].seq, *seq);
+        }
+        for (seq, wg) in &self.unit_by_seq {
+            assert_eq!(self.groups[wg].reqs.len(), 1, "unit index stale");
+            assert_eq!(self.groups[wg].seq, *seq);
+        }
+        for (wg, e) in &self.groups {
+            if e.reqs.len() == 1 {
+                assert_eq!(self.unit_by_seq.get(&e.seq), Some(wg));
             }
         }
+        let mut want: std::collections::BTreeMap<(usize, u32, u64), u32> = Default::default();
+        for (wg, e) in &self.groups {
+            for r in &e.reqs {
+                *want
+                    .entry((r.decoded.bank.0 as usize, r.decoded.row, e.seq))
+                    .or_insert(0) += 1;
+                assert_eq!(
+                    self.row_tally[r.decoded.bank.0 as usize]
+                        .get(&r.decoded.row)
+                        .and_then(|t| t.by_seq.get(&e.seq))
+                        .map(|(w, _)| w),
+                    Some(wg)
+                );
+            }
+        }
+        let mut have = 0usize;
+        for (b, per_row) in self.row_tally.iter().enumerate() {
+            for (row, t) in per_row {
+                assert!(t.count > 0, "empty tally retained");
+                let mut sum = 0;
+                for (seq, (_, c)) in &t.by_seq {
+                    assert!(*c > 0);
+                    assert_eq!(want.get(&(b, *row, *seq)), Some(c));
+                    sum += c;
+                }
+                assert_eq!(t.count, sum);
+                have += t.by_seq.len();
+            }
+        }
+        assert_eq!(have, want.len());
+    }
+
+    fn take_req(&mut self, wg: WarpGroupId, idx: usize) -> MemRequest {
+        let entry = self.groups.get_mut(&wg).expect("group exists");
+        let seq = entry.seq;
+        let r = entry.reqs.swap_remove(idx);
+        let left = entry.reqs.len();
+        self.bank_count[r.decoded.bank.0 as usize] -= 1;
+        self.total -= 1;
+        self.untally(&r, seq);
+        match left {
+            0 => {
+                self.groups.remove(&wg);
+                self.remote_cap.remove(&wg);
+                self.shared.remove(&wg);
+                self.by_seq.remove(&seq);
+                self.unit_by_seq.remove(&seq);
+                if self.active == Some(wg) {
+                    self.active = None;
+                }
+            }
+            1 => {
+                self.unit_by_seq.insert(seq, wg);
+            }
+            _ => {}
+        }
         r
+    }
+
+    /// Remove one request's contribution from its `(bank, row)` tally.
+    fn untally(&mut self, r: &MemRequest, seq: u64) {
+        let per_row = &mut self.row_tally[r.decoded.bank.0 as usize];
+        let t = per_row
+            .get_mut(&r.decoded.row)
+            .expect("tally exists for pending request");
+        t.count -= 1;
+        if t.count == 0 {
+            per_row.remove(&r.decoded.row);
+            return;
+        }
+        let c = t.by_seq.get_mut(&seq).expect("group share exists");
+        c.1 -= 1;
+        if c.1 == 0 {
+            t.by_seq.remove(&seq);
+        }
     }
 
     /// Effective score of a group: Bank-Table score, capped by the best
@@ -208,17 +329,35 @@ impl WarpGroupPolicy {
 
     /// Select the best complete group by bank-aware SJF; fall back to the
     /// oldest group if none is complete (prevents queue-full livelock).
+    ///
+    /// Every complete group is scored (never short-circuited): the score
+    /// evaluation has an observable side effect — `coord_cap_applied`
+    /// counts every engagement of the WG-M remote cap, and that counter is
+    /// part of `RunResult` — so the candidate *set* is bit-exactness
+    /// contract, not an implementation detail. The selection itself is a
+    /// strict total order ending in the unique `seq`, so evaluation order
+    /// cannot change the winner.
     fn select_group(&mut self, view: &PolicyView<'_>) -> Option<WarpGroupId> {
         // Ordering: lowest score; ties -> shared groups (WG-S), then
         // remotely-started groups, then most row hits, then oldest.
         let mut best: Option<(GroupScore, bool, bool, u64, WarpGroupId)> = None;
-        let ids: Vec<WarpGroupId> = self
-            .groups
-            .iter()
-            .filter(|(wg, _)| view.groups.is_complete(**wg))
-            .map(|(wg, _)| *wg)
-            .collect();
-        for wg in ids {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        if self.reference_picks {
+            ids.extend(
+                self.groups
+                    .iter()
+                    .filter(|(wg, _)| view.groups.is_complete(**wg))
+                    .map(|(wg, _)| *wg),
+            );
+        } else {
+            ids.extend(
+                self.by_seq
+                    .values()
+                    .filter(|wg| view.groups.is_complete(**wg)),
+            );
+        }
+        for &wg in &ids {
             let seq = self.groups[&wg].seq;
             let (s, capped) = self.effective_score(wg, view);
             let shared = self.flags.shared_aware && self.shared.contains(&wg);
@@ -242,6 +381,7 @@ impl WarpGroupPolicy {
                 best = Some((s, shared, capped, seq, wg));
             }
         }
+        self.scratch_ids = ids;
         if let Some((score, shared, _, _, wg)) = best {
             if shared {
                 self.shared_promotions += 1;
@@ -257,10 +397,14 @@ impl WarpGroupPolicy {
         }
         // No complete group: fall back to the oldest partial group so the
         // read queue cannot clog with fragments.
-        self.groups
-            .iter()
-            .min_by_key(|(_, e)| e.seq)
-            .map(|(wg, _)| *wg)
+        if self.reference_picks {
+            self.groups
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(wg, _)| *wg)
+        } else {
+            self.by_seq.values().next().copied()
+        }
     }
 
     /// Pick the next request *within* the active group: row hits first
@@ -283,7 +427,12 @@ impl WarpGroupPolicy {
         if self.flags.merb {
             let d = entry.reqs[idx].decoded;
             if !view.is_hit(&d) {
-                if let Some((owg, oidx)) = self.merb_gate(d.bank.0 as usize, view) {
+                let gate = if self.reference_picks {
+                    self.merb_gate_reference(d.bank.0 as usize, view)
+                } else {
+                    self.merb_gate(d.bank.0 as usize, view)
+                };
+                if let Some((owg, oidx)) = gate {
                     self.merb_substitutions += 1;
                     return Some(self.take_req(owg, oidx));
                 }
@@ -297,7 +446,45 @@ impl WarpGroupPolicy {
     /// hits for the bank's open row are still pending — and, per the orphan
     /// control rule, while only one or two such hits remain even after the
     /// threshold is met. Returns the oldest substitute hit to schedule.
+    ///
+    /// Indexed: the `(bank, open-row)` tally answers "how many pending hits"
+    /// and "which group is oldest" in one map lookup; only the oldest
+    /// group's request list is then scanned for the substitute's position —
+    /// the *first* matching index, the same within-group order the reference
+    /// scan produces.
     fn merb_gate(&self, bank: usize, view: &PolicyView<'_>) -> Option<(WarpGroupId, usize)> {
+        let snap = &view.banks[bank];
+        let open_row = snap.last_scheduled_row?;
+        let t = self.row_tally[bank].get(&open_row)?;
+        debug_assert!(t.count > 0);
+        let banks_with_work = view.banks_with_work(|b| self.bank_count[b] > 0);
+        let threshold = view.merb.get(banks_with_work);
+        let gate_closed = snap.hits_since_row_open < threshold;
+        // Orphan control: never strand one or two row-hits behind a miss.
+        let orphan = t.count <= 2;
+        if gate_closed || orphan {
+            let (_, &(wg, _)) = t.by_seq.first_key_value().expect("non-empty tally");
+            let e = &self.groups[&wg];
+            let i = e
+                .reqs
+                .iter()
+                .position(|r| r.decoded.bank.0 as usize == bank && r.decoded.row == open_row)
+                .expect("tallied request present in group");
+            if view.headroom_ok(&e.reqs[i].decoded) {
+                return Some((wg, i));
+            }
+        }
+        None
+    }
+
+    /// Original scan-based MERB gate (kept for `reference_picks`
+    /// differential testing; must stay behaviourally identical to
+    /// [`Self::merb_gate`]).
+    fn merb_gate_reference(
+        &self,
+        bank: usize,
+        view: &PolicyView<'_>,
+    ) -> Option<(WarpGroupId, usize)> {
         let snap = &view.banks[bank];
         let open_row = snap.last_scheduled_row?;
         // Find pending row-hits for this bank's open row across all groups.
@@ -319,7 +506,6 @@ impl WarpGroupPolicy {
         let banks_with_work = view.banks_with_work(|b| self.bank_count[b] > 0);
         let threshold = view.merb.get(banks_with_work);
         let gate_closed = snap.hits_since_row_open < threshold;
-        // Orphan control: never strand one or two row-hits behind a miss.
         let orphan = count <= 2;
         if gate_closed || orphan {
             let (_, wg, i) = oldest.unwrap();
@@ -333,7 +519,71 @@ impl WarpGroupPolicy {
     /// The active group cannot schedule anything (its banks' command queues
     /// are full). Pull one schedulable request from the lowest-score other
     /// group rather than idling banks.
+    ///
+    /// Candidate order: complete non-active groups (incomplete ones only
+    /// when no complete group exists — the tie-break the
+    /// `bypass_prefers_complete_groups_over_better_scored_incomplete` test
+    /// pins), best score first, seq as the stable tie-break. Like
+    /// [`Self::select_group`], every candidate is scored — the WG-M cap
+    /// counter makes the candidate set observable — but the indexed path
+    /// walks `by_seq` (already oldest-first, so the pre-sort disappears)
+    /// and reuses the two scratch buffers instead of allocating per pick.
     fn pick_bypass(&mut self, view: &PolicyView<'_>) -> Option<MemRequest> {
+        let active = self.active;
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(
+            self.by_seq
+                .values()
+                .filter(|wg| Some(**wg) != active && view.groups.is_complete(**wg)),
+        );
+        if ids.is_empty() {
+            ids.extend(self.by_seq.values().filter(|wg| Some(**wg) != active));
+        }
+        // `by_seq` iterates oldest-first: `ids` is already seq-sorted.
+        let mut scored = std::mem::take(&mut self.scratch_scored);
+        scored.clear();
+        for &wg in &ids {
+            let s = self.effective_score(wg, view).0;
+            scored.push((s, wg));
+        }
+        // Stable sort: within equal scores the seq order above survives.
+        scored.sort_by(|a, b| {
+            if a.0.better_than(&b.0) {
+                std::cmp::Ordering::Less
+            } else if b.0.better_than(&a.0) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let mut found: Option<(WarpGroupId, usize)> = None;
+        for &(_, wg) in scored.iter() {
+            let entry = &self.groups[&wg];
+            let mut best: Option<(u32, usize)> = None;
+            for (i, r) in entry.reqs.iter().enumerate() {
+                if !view.headroom_ok(&r.decoded) {
+                    continue;
+                }
+                let s = view.request_score(&r.decoded);
+                if best.map(|(bs, _)| s < bs).unwrap_or(true) {
+                    best = Some((s, i));
+                }
+            }
+            if let Some((_, idx)) = best {
+                found = Some((wg, idx));
+                break;
+            }
+        }
+        self.scratch_ids = ids;
+        self.scratch_scored = scored;
+        found.map(|(wg, idx)| self.take_req(wg, idx))
+    }
+
+    /// Original allocating scan-and-sort bypass (kept for `reference_picks`
+    /// differential testing; must stay behaviourally identical to
+    /// [`Self::pick_bypass`]).
+    fn pick_bypass_reference(&mut self, view: &PolicyView<'_>) -> Option<MemRequest> {
         let active = self.active;
         let mut ids: Vec<WarpGroupId> = self
             .groups
@@ -384,7 +634,31 @@ impl WarpGroupPolicy {
 
     /// WG-W (Section IV-E): under an imminent write drain, service groups
     /// with exactly one outstanding request first, regardless of score.
+    ///
+    /// Indexed: `unit_by_seq` holds exactly the single-request groups in
+    /// seq order, so the oldest eligible one is the first entry passing the
+    /// completeness + headroom filters (both seq-independent — iterating
+    /// ascending and stopping at the first pass equals the reference's
+    /// min-over-all).
     fn pick_unit_group(&mut self, view: &PolicyView<'_>) -> Option<MemRequest> {
+        let mut found: Option<WarpGroupId> = None;
+        for (_, &wg) in self.unit_by_seq.iter() {
+            let e = &self.groups[&wg];
+            debug_assert_eq!(e.reqs.len(), 1);
+            if view.groups.is_complete(wg) && view.headroom_ok(&e.reqs[0].decoded) {
+                found = Some(wg);
+                break;
+            }
+        }
+        let wg = found?;
+        self.wgw_priority_grants += 1;
+        Some(self.take_req(wg, 0))
+    }
+
+    /// Original scan-based unit-group pick (kept for `reference_picks`
+    /// differential testing; must stay behaviourally identical to
+    /// [`Self::pick_unit_group`]).
+    fn pick_unit_group_reference(&mut self, view: &PolicyView<'_>) -> Option<MemRequest> {
         let mut best: Option<(u64, WarpGroupId)> = None;
         for (wg, e) in self.groups.iter() {
             if e.reqs.len() == 1
@@ -407,10 +681,13 @@ impl Policy for WarpGroupPolicy {
     }
 
     fn on_arrival(&mut self, req: MemRequest, now: Cycle) {
-        self.bank_count[req.decoded.bank.0 as usize] += 1;
+        let bank = req.decoded.bank.0 as usize;
+        let row = req.decoded.row;
+        let wg = req.wg;
+        self.bank_count[bank] += 1;
         self.total += 1;
         let seq = self.seq;
-        let entry = self.groups.entry(req.wg).or_insert_with(|| GroupEntry {
+        let entry = self.groups.entry(wg).or_insert_with(|| GroupEntry {
             reqs: Vec::with_capacity(4),
             seq,
             first_arrival: now,
@@ -418,7 +695,21 @@ impl Policy for WarpGroupPolicy {
         if entry.reqs.is_empty() {
             entry.seq = entry.seq.min(seq);
         }
+        let gseq = entry.seq;
         entry.reqs.push(req);
+        match entry.reqs.len() {
+            1 => {
+                self.by_seq.insert(gseq, wg);
+                self.unit_by_seq.insert(gseq, wg);
+            }
+            2 => {
+                self.unit_by_seq.remove(&gseq);
+            }
+            _ => {}
+        }
+        let t = self.row_tally[bank].entry(row).or_default();
+        t.count += 1;
+        t.by_seq.entry(gseq).or_insert((wg, 0)).1 += 1;
         self.seq += 1;
     }
 
@@ -431,14 +722,23 @@ impl Policy for WarpGroupPolicy {
             return None;
         }
         // Starvation guard: the oldest group past the age threshold
-        // pre-empts the SJF order (and the active group).
-        if let Some((wg, _)) = self
-            .groups
-            .iter()
-            .filter(|(_, e)| view.now.saturating_sub(e.first_arrival) > self.age_threshold)
-            .min_by_key(|(_, e)| e.seq)
-            .map(|(wg, e)| (*wg, e.seq))
-        {
+        // pre-empts the SJF order (and the active group). Indexed: `seq`
+        // order is creation order and `first_arrival` is nondecreasing in
+        // it, so the oldest group (first `by_seq` entry) is the *only* one
+        // that can exceed the threshold first — one lookup replaces the
+        // filtered min-scan.
+        let aged = if self.reference_picks {
+            self.groups
+                .iter()
+                .filter(|(_, e)| view.now.saturating_sub(e.first_arrival) > self.age_threshold)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(wg, _)| *wg)
+        } else {
+            self.by_seq.values().next().copied().filter(|wg| {
+                view.now.saturating_sub(self.groups[wg].first_arrival) > self.age_threshold
+            })
+        };
+        if let Some(wg) = aged {
             self.active = Some(wg);
             if let Some(r) = self.pick_from_group(wg, view) {
                 return Some(r);
@@ -446,7 +746,12 @@ impl Policy for WarpGroupPolicy {
         }
         // WG-W pre-drain hook.
         if self.flags.write_aware && view.drain_imminent() {
-            if let Some(r) = self.pick_unit_group(view) {
+            let r = if self.reference_picks {
+                self.pick_unit_group_reference(view)
+            } else {
+                self.pick_unit_group(view)
+            };
+            if let Some(r) = r {
                 return Some(r);
             }
         }
@@ -462,7 +767,11 @@ impl Policy for WarpGroupPolicy {
                 // remaining banks keep streaming (the bandwidth-preserving
                 // rule of Section IV-D's design discussion). The active
                 // group resumes as soon as its banks free up.
-                return self.pick_bypass(view);
+                return if self.reference_picks {
+                    self.pick_bypass_reference(view)
+                } else {
+                    self.pick_bypass(view)
+                };
             }
             self.active = None;
         }
@@ -472,7 +781,11 @@ impl Policy for WarpGroupPolicy {
         if let Some(r) = self.pick_from_group(wg, view) {
             return Some(r);
         }
-        self.pick_bypass(view)
+        if self.reference_picks {
+            self.pick_bypass_reference(view)
+        } else {
+            self.pick_bypass(view)
+        }
     }
 
     fn remove_group(&mut self, wg: WarpGroupId) -> Vec<MemRequest> {
@@ -483,9 +796,12 @@ impl Policy for WarpGroupPolicy {
         if self.active == Some(wg) {
             self.active = None;
         }
+        self.by_seq.remove(&entry.seq);
+        self.unit_by_seq.remove(&entry.seq);
         for r in &entry.reqs {
             self.bank_count[r.decoded.bank.0 as usize] -= 1;
             self.total -= 1;
+            self.untally(r, entry.seq);
         }
         entry.reqs
     }
@@ -536,12 +852,14 @@ pub fn make_policy(kind: SchedulerKind, mem: &MemConfig) -> Box<dyn Policy> {
         return p;
     }
     let (flags, name) = WgFlags::for_kind(kind).expect("WG-family kind");
-    Box::new(WarpGroupPolicy::with_age_threshold(
+    let mut p = WarpGroupPolicy::with_age_threshold(
         flags,
         name,
         mem.banks_per_channel,
         mem.gmc_age_threshold,
-    ))
+    );
+    p.set_reference_picks(mem.reference_picks);
+    Box::new(p)
 }
 
 #[cfg(test)]
@@ -1014,6 +1332,50 @@ mod tests {
     }
 
     #[test]
+    fn bypass_prefers_complete_groups_over_better_scored_incomplete() {
+        // Pin the bypass tie-break order: incomplete groups are considered
+        // only when NO complete group exists, even when an incomplete group
+        // has a strictly better score. (The indexed reimplementation must
+        // preserve this two-phase candidate set exactly.)
+        let mut f = Fix::new();
+        let mut p = plain_wg();
+        // Active group: two cheap hits on bank 0.
+        f.banks[0].last_scheduled_row = Some(1);
+        let ga = wg(0, 0, 0);
+        for _ in 0..2 {
+            let r = f.req(0, 1, ga, 2);
+            f.feed(&mut p, r);
+        }
+        // Complete group on a congested bank (score 23 = 20 queued + 3).
+        f.banks[3].queue_score = 20;
+        let gb = wg(0, 1, 0);
+        let r = f.req(3, 9, gb, 1);
+        let idb = r.id;
+        f.feed(&mut p, r);
+        // Incomplete group on an idle bank (score 3 — strictly better).
+        let gc = wg(0, 2, 0);
+        let r = f.req(4, 9, gc, 2); // expects 2 requests, only 1 arrived
+        let idc = r.id;
+        f.feed(&mut p, r);
+        // Drain starts on ga, then bank 0 blocks: bypass must take the
+        // COMPLETE group gb despite gc's better score.
+        assert_eq!(p.pick(&f.view()).unwrap().wg, ga);
+        f.banks[0].headroom = 0;
+        assert_eq!(
+            p.pick(&f.view()).unwrap().id,
+            idb,
+            "bypass must prefer complete groups regardless of score"
+        );
+        // With gb gone, only the incomplete gc remains: the fallback may now
+        // (and must) pull from it rather than idle the transaction slot.
+        assert_eq!(
+            p.pick(&f.view()).unwrap().id,
+            idc,
+            "bypass falls back to incomplete groups only when none complete"
+        );
+    }
+
+    #[test]
     fn counters_roundtrip() {
         let mut f = Fix::new();
         let mut p = WarpGroupPolicy::new(
@@ -1032,6 +1394,151 @@ mod tests {
         p.pick(&f.view()).unwrap();
         let c = Policy::counters(&p);
         assert_eq!(c[0], 1, "one group selected");
+    }
+
+    /// Satellite property test (PR 1 seeded-loop convention): drive an
+    /// indexed policy and a `reference_picks` twin through the same random
+    /// operation stream — arrivals, picks under randomly mutated bank
+    /// snapshots, coordination, sharing, group removal, aging — for every
+    /// combination of the four WG flags, and require identical picks,
+    /// identical counters, and intact incremental indexes throughout.
+    #[test]
+    fn indexed_picks_match_reference_scans_under_random_ops() {
+        use ldsim_util::StdRng;
+        for combo in 0u8..16 {
+            let flags = WgFlags {
+                coordinate: combo & 1 != 0,
+                merb: combo & 2 != 0,
+                write_aware: combo & 4 != 0,
+                shared_aware: combo & 8 != 0,
+            };
+            for seed in 0u64..3 {
+                let mut rng = StdRng::seed_from_u64(0x1D3A ^ (combo as u64) << 8 ^ seed);
+                let mut idx = WarpGroupPolicy::with_age_threshold(flags, "idx", 16, 500);
+                let mut rf = WarpGroupPolicy::with_age_threshold(flags, "ref", 16, 500);
+                rf.set_reference_picks(true);
+                let mut f = Fix::new();
+                let mut now: Cycle = 0;
+                let mut live: Vec<WarpGroupId> = Vec::new();
+                let mut serial = 0u32;
+                for step in 0..600 {
+                    match rng.gen_range(0u32..100) {
+                        // Arrivals: a fresh group, possibly left incomplete,
+                        // possibly completed through upstream absorption.
+                        0..=44 => {
+                            serial += 1;
+                            let g = wg(0, (serial % 7) as u16, serial);
+                            let size = rng.gen_range(1u16..=4);
+                            let arrive = rng.gen_range(1u16..=size);
+                            for _ in 0..arrive {
+                                let bank = rng.gen_range(0u8..16);
+                                let row = rng.gen_range(0u32..4);
+                                let r = f.req(bank, row, g, size);
+                                f.groups.on_arrival(&r);
+                                idx.on_arrival(r, now);
+                                rf.on_arrival(r, now);
+                            }
+                            if arrive < size && rng.gen_bool(0.5) {
+                                for _ in arrive..size {
+                                    f.groups.on_absorbed(g, size);
+                                }
+                            }
+                            live.push(g);
+                        }
+                        // Picks under a randomly perturbed bank view.
+                        45..=79 => {
+                            for b in 0..16 {
+                                let s = &mut f.banks[b];
+                                s.headroom = if rng.gen_bool(0.2) {
+                                    rng.gen_range(0usize..3)
+                                } else {
+                                    rng.gen_range(3usize..=8)
+                                };
+                                s.queue_score = rng.gen_range(0u32..30);
+                                s.queue_len = 8 - s.headroom;
+                                s.busy = s.queue_len > 0;
+                                s.last_scheduled_row = if rng.gen_bool(0.6) {
+                                    Some(rng.gen_range(0u32..4))
+                                } else {
+                                    None
+                                };
+                                s.hits_since_row_open = rng.gen_range(0u8..32);
+                            }
+                            f.write_q_len = rng.gen_range(0usize..32);
+                            let mut v = f.view();
+                            v.now = now;
+                            let a = idx.pick(&v);
+                            let b = rf.pick(&v);
+                            assert_eq!(
+                                a.as_ref().map(|r| (r.id, r.wg)),
+                                b.as_ref().map(|r| (r.id, r.wg)),
+                                "pick diverged: flags={flags:?} seed={seed} step={step}"
+                            );
+                        }
+                        // WG-M coordination from a phantom remote controller.
+                        80..=87 => {
+                            if let Some(&g) = live.get(rng.gen_range(0usize..live.len().max(1))) {
+                                let m = CoordMsg {
+                                    wg: g,
+                                    score: rng.gen_range(0u32..12),
+                                };
+                                idx.on_coord(m, now);
+                                rf.on_coord(m, now);
+                            }
+                        }
+                        // WG-S sharing notifications.
+                        88..=91 => {
+                            if let Some(&g) = live.get(rng.gen_range(0usize..live.len().max(1))) {
+                                Policy::on_shared(&mut idx, g);
+                                Policy::on_shared(&mut rf, g);
+                            }
+                        }
+                        // Zero-divergence-style whole-group removal.
+                        92..=94 => {
+                            if let Some(&g) = live.get(rng.gen_range(0usize..live.len().max(1))) {
+                                let a = idx.remove_group(g);
+                                let b = rf.remove_group(g);
+                                let ia: Vec<_> = a.iter().map(|r| r.id).collect();
+                                let ib: Vec<_> = b.iter().map(|r| r.id).collect();
+                                assert_eq!(ia, ib, "remove_group diverged");
+                            }
+                        }
+                        // Time advances (starvation guard engagement).
+                        _ => now += rng.gen_range(1u64..400),
+                    }
+                    assert_eq!(idx.pending(), rf.pending());
+                    if step % 37 == 0 {
+                        idx.check_index_invariants();
+                        rf.check_index_invariants();
+                    }
+                }
+                // Drain both to empty with full headroom and compare tallies.
+                for b in 0..16 {
+                    f.banks[b].headroom = 8;
+                }
+                let mut v = f.view();
+                v.now = now;
+                loop {
+                    let a = idx.pick(&v);
+                    let b = rf.pick(&v);
+                    assert_eq!(
+                        a.as_ref().map(|r| r.id),
+                        b.as_ref().map(|r| r.id),
+                        "drain pick diverged: flags={flags:?} seed={seed}"
+                    );
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                idx.check_index_invariants();
+                assert_eq!(
+                    Policy::counters(&idx),
+                    Policy::counters(&rf),
+                    "counters diverged: flags={flags:?} seed={seed}"
+                );
+                assert_eq!(idx.shared_promotions, rf.shared_promotions);
+            }
+        }
     }
 
     #[test]

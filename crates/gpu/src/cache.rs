@@ -7,7 +7,7 @@
 //! L2 can track original request identities.
 
 use ldsim_types::config::CacheConfig;
-use std::collections::HashMap;
+use ldsim_util::FnvHashMap;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct TagEntry {
@@ -80,6 +80,20 @@ impl Cache {
         }
         self.stats.misses += 1;
         false
+    }
+
+    /// Account a probe the caller has already classified as a miss (via
+    /// [`Self::contains`], with no intervening mutation): advances the LRU
+    /// clock and the miss counter exactly as the miss path of
+    /// [`Self::probe`] would — including the clock tick, which future
+    /// hits/fills embed in their recency stamps — without re-scanning the
+    /// set.
+    #[inline]
+    pub fn probe_known_miss(&mut self, line: u64) {
+        debug_assert!(!self.contains(line), "probe_known_miss on a resident line");
+        let _ = line;
+        self.tick += 1;
+        self.stats.misses += 1;
     }
 
     /// Probe without updating LRU or stats (lookup-only).
@@ -160,12 +174,65 @@ pub enum MshrOutcome {
     Full,
 }
 
+/// Waiters on one in-flight line. The single-waiter case — the vast
+/// majority, since merges are the exception — stays inline, so registering
+/// a miss allocates nothing; a `Vec` appears only once a second waiter
+/// merges in.
+#[derive(Debug, Clone)]
+enum Waiters<W> {
+    One(W),
+    Many(Vec<W>),
+}
+
+impl<W> Waiters<W> {
+    fn as_slice(&self) -> &[W] {
+        match self {
+            Waiters::One(w) => std::slice::from_ref(w),
+            Waiters::Many(v) => v,
+        }
+    }
+}
+
+/// Draining iterator over a filled line's waiters (see [`Mshr::fill`]).
+pub struct FillIter<W>(FillInner<W>);
+
+enum FillInner<W> {
+    Empty,
+    One(Option<W>),
+    Many(std::vec::IntoIter<W>),
+}
+
+impl<W> Iterator for FillIter<W> {
+    type Item = W;
+
+    fn next(&mut self) -> Option<W> {
+        match &mut self.0 {
+            FillInner::Empty => None,
+            FillInner::One(w) => w.take(),
+            FillInner::Many(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.0 {
+            FillInner::Empty => 0,
+            FillInner::One(w) => usize::from(w.is_some()),
+            FillInner::Many(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl<W> ExactSizeIterator for FillIter<W> {}
+
 /// Miss-status holding registers: one entry per in-flight missed line, each
 /// holding the waiters to notify on fill.
 #[derive(Debug, Clone)]
 pub struct Mshr<W> {
     capacity: usize,
-    entries: HashMap<u64, Vec<W>>,
+    /// Keyed lookups only — never iterated, so the cheap deterministic
+    /// hasher cannot influence simulation results.
+    entries: FnvHashMap<u64, Waiters<W>>,
     pub merges: u64,
 }
 
@@ -173,7 +240,7 @@ impl<W> Mshr<W> {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: FnvHashMap::with_capacity_and_hasher(capacity, Default::default()),
             merges: 0,
         }
     }
@@ -198,21 +265,45 @@ impl<W> Mshr<W> {
 
     /// Register a miss on `line` with `waiter`.
     pub fn register(&mut self, line: u64, waiter: W) -> MshrOutcome {
-        if let Some(ws) = self.entries.get_mut(&line) {
-            ws.push(waiter);
-            self.merges += 1;
-            return MshrOutcome::Merged;
+        let full = self.entries.len() >= self.capacity;
+        match self.entries.entry(line) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                match e.get_mut() {
+                    Waiters::Many(v) => v.push(waiter),
+                    slot => {
+                        let Waiters::One(first) =
+                            std::mem::replace(slot, Waiters::Many(Vec::with_capacity(2)))
+                        else {
+                            unreachable!()
+                        };
+                        let Waiters::Many(v) = slot else {
+                            unreachable!()
+                        };
+                        v.push(first);
+                        v.push(waiter);
+                    }
+                }
+                self.merges += 1;
+                MshrOutcome::Merged
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if full {
+                    return MshrOutcome::Full;
+                }
+                v.insert(Waiters::One(waiter));
+                MshrOutcome::Allocated
+            }
         }
-        if self.entries.len() >= self.capacity {
-            return MshrOutcome::Full;
-        }
-        self.entries.insert(line, vec![waiter]);
-        MshrOutcome::Allocated
     }
 
-    /// The line's data arrived: pop and return every waiter.
-    pub fn fill(&mut self, line: u64) -> Vec<W> {
-        self.entries.remove(&line).unwrap_or_default()
+    /// The line's data arrived: pop and drain every waiter. Allocation-free
+    /// for the common single-waiter entry.
+    pub fn fill(&mut self, line: u64) -> FillIter<W> {
+        FillIter(match self.entries.remove(&line) {
+            None => FillInner::Empty,
+            Some(Waiters::One(w)) => FillInner::One(Some(w)),
+            Some(Waiters::Many(v)) => FillInner::Many(v.into_iter()),
+        })
     }
 
     /// Current waiters on an in-flight line (empty slice if none).
@@ -313,9 +404,12 @@ mod tests {
         assert_eq!(m.register(7, 4), MshrOutcome::Full);
         assert!(m.can_accept(5), "existing line always accepts");
         assert!(!m.can_accept(7));
-        assert_eq!(m.fill(5), vec![1, 2]);
-        assert!(m.fill(5).is_empty());
+        assert_eq!(m.waiters(5), &[1, 2]);
+        assert_eq!(m.fill(5).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(m.fill(5).count(), 0);
         assert_eq!(m.merges, 1);
         assert_eq!(m.len(), 1);
+        assert_eq!(m.waiters(6), &[3]);
+        assert_eq!(m.fill(6).collect::<Vec<_>>(), vec![3]);
     }
 }

@@ -19,14 +19,21 @@ pub fn coalesce_into(
     scratch: &mut Vec<u64>,
 ) -> usize {
     scratch.clear();
+    // Linear scan beats hashing here: the list is <= 32 entries and
+    // usually far shorter (see the perf-book guidance on small hot
+    // collections). A 64-bit fingerprint of the lines seen so far skips
+    // even that scan when a line's low bits are fresh — scattered gathers
+    // (all-distinct lines, the common irregular case) then dedup in O(n)
+    // instead of O(n²), and first-occurrence order is untouched.
+    let mut seen = 0u64;
     for lane in mask.iter() {
         let line = addrs[lane] >> line_shift;
-        // Linear scan beats hashing here: the list is <= 32 entries and
-        // usually far shorter (see the perf-book guidance on small hot
-        // collections).
-        if !scratch.contains(&line) {
-            scratch.push(line);
+        let bit = 1u64 << (line & 63);
+        if seen & bit != 0 && scratch.contains(&line) {
+            continue;
         }
+        seen |= bit;
+        scratch.push(line);
     }
     scratch.len()
 }

@@ -84,6 +84,21 @@ struct WarpCtx {
     outstanding: u32,
     cur: LoadRecord,
     retired: u64,
+    /// `fill_epoch` at which this warp's load last failed the MSHR
+    /// capacity check (`u64::MAX` = no memoized failure), plus how far
+    /// over capacity it was (`deficit = len + new_entries - cap`, >= 1).
+    /// Between fills `mshr.len() + new_entries` can only grow for a
+    /// blocked warp — stores only invalidate L1 lines (more misses), and
+    /// another warp's register that turns one of our "new" lines into a
+    /// merge adds at least as much to `len` as it removes from
+    /// `new_entries` — and each fill lowers the sum by exactly one (it
+    /// frees one MSHR entry; the filled line was in flight, so it was
+    /// never one of our "new" lines, and any eviction it causes only adds
+    /// misses). So the check is guaranteed to fail again until `deficit`
+    /// fills have landed, and the coalesce + classify rescan is skipped
+    /// until then.
+    mshr_block_epoch: u64,
+    mshr_block_deficit: u64,
 }
 
 /// One streaming multiprocessor.
@@ -97,6 +112,19 @@ pub struct Sm {
     mapper: AddressMapper,
     line_shift: u32,
     last_issued: usize,
+    /// Min-heap of `(until, warp)` for every `Busy` warp — exactly one
+    /// entry per Busy warp, popped at its wake tick, so the per-cycle wake
+    /// pass costs O(expired) instead of O(warps) and `next_event`'s
+    /// earliest-expiry query is the heap peek (DESIGN.md §13).
+    busy_heap: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, u32)>>,
+    /// Bitset of `Ready` warps (bit = warp index), kept in lockstep with
+    /// `WState` at every transition: the issue stage walks set bits in
+    /// ascending order — the same oldest-first order as the old full scan —
+    /// and the idle check is `ready_count == 0` instead of an all-warps
+    /// scan. Wake order and scan order have no cross-warp effects, so both
+    /// replacements are bit-exact.
+    ready_words: Vec<u64>,
+    ready_count: usize,
     /// The SM's single issue port: busy until this cycle. A `Compute(n)`
     /// occupies it for n cycles (warp-interleaved issue is aggregated), so
     /// SM throughput is port-limited unless every warp is blocked on memory
@@ -105,6 +133,12 @@ pub struct Sm {
     port_free: Cycle,
     next_req: u64,
     scratch_lines: Vec<u64>,
+    /// Reusable per-load buffers (miss lines, (channel,bank,row) keys,
+    /// outgoing requests): load issue is the SM hot path, and per-load
+    /// `Vec` churn showed up directly in the allocator profile.
+    scratch_misses: Vec<u64>,
+    scratch_keys: Vec<(u8, u8, u32)>,
+    scratch_reqs: Vec<MemRequest>,
     /// Requests of an issued load/store still waiting for crossbar space;
     /// drained in order, at most `xbar_free` per cycle. Lets a wide gather
     /// issue atomically without requiring a huge injection budget.
@@ -115,6 +149,10 @@ pub struct Sm {
     pub retired: u64,
     /// Cycles where a load could not issue for lack of MSHR/injection space.
     pub resource_stalls: u64,
+    /// Bumped on every line fill — the only event that can shrink
+    /// `mshr.len() + new_entries` for a blocked warp (see
+    /// [`WarpCtx::mshr_block_epoch`]).
+    fill_epoch: u64,
     /// Cycles the issue port was occupied by compute.
     pub port_busy_cycles: u64,
     /// Cycles the port was free but no warp was ready (all blocked on
@@ -140,6 +178,8 @@ impl Sm {
                 outstanding: 0,
                 cur: LoadRecord::default(),
                 retired: 0,
+                mshr_block_epoch: u64::MAX,
+                mshr_block_deficit: 0,
             })
             .collect::<Vec<_>>();
         let done_warps = programs.iter().filter(|p| p.insns.is_empty()).count();
@@ -152,25 +192,74 @@ impl Sm {
             mapper,
             line_shift: cfg.l1.line_bytes.trailing_zeros(),
             last_issued: 0,
+            busy_heap: std::collections::BinaryHeap::new(),
+            ready_words: vec![0; programs.len().div_ceil(64)],
+            ready_count: 0,
             port_free: 0,
             next_req: 0,
             scratch_lines: Vec::with_capacity(32),
+            scratch_misses: Vec::with_capacity(32),
+            scratch_keys: Vec::with_capacity(32),
+            scratch_reqs: Vec::with_capacity(32),
             stage_q: std::collections::VecDeque::new(),
             records: Vec::new(),
             retired: 0,
             resource_stalls: 0,
+            fill_epoch: 0,
             port_busy_cycles: 0,
             mem_idle_cycles: 0,
             done_warps,
             programs,
         };
-        // Empty programs are Done from the start.
-        for (i, p) in s.programs.iter().enumerate() {
-            if p.insns.is_empty() {
+        // Empty programs are Done from the start; everyone else is Ready.
+        for i in 0..s.programs.len() {
+            if s.programs[i].insns.is_empty() {
                 s.warps[i].state = WState::Done;
+            } else {
+                s.mark_ready(i);
             }
         }
         s
+    }
+
+    #[inline]
+    fn mark_ready(&mut self, wi: usize) {
+        debug_assert_eq!(self.ready_words[wi >> 6] >> (wi & 63) & 1, 0);
+        self.ready_words[wi >> 6] |= 1u64 << (wi & 63);
+        self.ready_count += 1;
+    }
+
+    #[inline]
+    fn clear_ready(&mut self, wi: usize) {
+        debug_assert_eq!(self.ready_words[wi >> 6] >> (wi & 63) & 1, 1);
+        self.ready_words[wi >> 6] &= !(1u64 << (wi & 63));
+        self.ready_count -= 1;
+    }
+
+    #[inline]
+    fn is_ready(&self, wi: usize) -> bool {
+        self.ready_words[wi >> 6] >> (wi & 63) & 1 != 0
+    }
+
+    /// Wake a warp leaving `Busy`/`WaitMem`: `Done` if its program is
+    /// exhausted, `Ready` otherwise.
+    #[inline]
+    fn wake(&mut self, wi: usize) {
+        if self.warps[wi].pc >= self.programs[wi].insns.len() {
+            self.warps[wi].state = WState::Done;
+            self.done_warps += 1;
+        } else {
+            self.warps[wi].state = WState::Ready;
+            self.mark_ready(wi);
+        }
+    }
+
+    /// Transition a `Ready` warp to `Busy(until)`.
+    #[inline]
+    fn go_busy(&mut self, wi: usize, until: Cycle) {
+        self.clear_ready(wi);
+        self.warps[wi].state = WState::Busy(until);
+        self.busy_heap.push(std::cmp::Reverse((until, wi as u32)));
     }
 
     /// All warps retired?
@@ -194,6 +283,9 @@ impl Sm {
 
     /// Deliver a line fill. Satisfies every warp waiting on the line.
     pub fn accept_response(&mut self, resp: SmResponse, now: Cycle) {
+        // A fill frees an MSHR entry and inserts into L1 — the memoized
+        // capacity failures below are no longer conclusive.
+        self.fill_epoch += 1;
         let waiters = self.l1_mshr.fill(resp.line_addr);
         self.l1.fill(resp.line_addr, false);
         for w in waiters {
@@ -210,12 +302,7 @@ impl Sm {
             if warp.outstanding == 0 && warp.state == WState::WaitMem {
                 warp.cur.complete = now;
                 self.records.push(warp.cur);
-                if warp.pc >= self.programs[w as usize].insns.len() {
-                    warp.state = WState::Done;
-                    self.done_warps += 1;
-                } else {
-                    warp.state = WState::Ready;
-                }
+                self.wake(w as usize);
             }
         }
     }
@@ -232,17 +319,16 @@ impl Sm {
             out.push(r);
             budget -= 1;
         }
-        for (i, w) in self.warps.iter_mut().enumerate() {
-            if let WState::Busy(until) = w.state {
-                if now >= until {
-                    if w.pc >= self.programs[i].insns.len() {
-                        w.state = WState::Done;
-                        self.done_warps += 1;
-                    } else {
-                        w.state = WState::Ready;
-                    }
-                }
+        // Wake expired Busy warps: pop the heap up to `now`. Wake actions
+        // only touch the woken warp (plus commutative counters), so heap
+        // order vs. the old index-order scan is unobservable.
+        while let Some(&std::cmp::Reverse((until, wi))) = self.busy_heap.peek() {
+            if until > now {
+                break;
             }
+            self.busy_heap.pop();
+            debug_assert!(matches!(self.warps[wi as usize].state, WState::Busy(u) if u == until));
+            self.wake(wi as usize);
         }
         let n = self.warps.len();
         if n == 0 {
@@ -252,40 +338,45 @@ impl Sm {
             self.port_busy_cycles += 1;
             return;
         }
-        if !self.done()
-            && self
-                .warps
-                .iter()
-                .all(|w| matches!(w.state, WState::WaitMem | WState::Done))
-        {
+        if !self.done() && self.ready_count == 0 && self.busy_heap.is_empty() {
             self.mem_idle_cycles += 1;
         }
         // Memory instructions stage their requests; only one staged group
         // at a time keeps ordering simple and throttles naturally.
         let can_stage = self.stage_q.is_empty();
-        // Greedy: retry the last-issued warp first, then oldest-first. The
-        // issue stage tries a bounded number of ready candidates per cycle
-        // (a structural port limit that also keeps the simulator fast when
-        // many warps are blocked on full MSHRs or injection queues).
+        // Greedy: retry the last-issued warp first, then oldest-first over
+        // the ready bitset. The issue stage tries a bounded number of ready
+        // candidates per cycle (a structural port limit that also keeps the
+        // simulator fast when many warps are blocked on full MSHRs or
+        // injection queues). A failed try_issue mutates no warp state, so
+        // iterating a snapshot of each bitset word stays exact.
         let mut attempts = 0;
-        let mut wi = self.last_issued;
-        for step in 0..=n {
-            if step > 0 {
-                wi = step - 1; // oldest-first after the greedy candidate
-                if wi == self.last_issued {
-                    continue;
-                }
-            }
-            if self.warps[wi].state != WState::Ready {
-                continue;
-            }
-            if self.try_issue(wi, now, can_stage, out, &mut budget) {
-                self.last_issued = wi;
+        let li = self.last_issued;
+        if self.is_ready(li) {
+            if self.try_issue(li, now, can_stage, out, &mut budget) {
                 return;
             }
             attempts += 1;
             if attempts >= 4 {
                 return;
+            }
+        }
+        for word_i in 0..self.ready_words.len() {
+            let mut word = self.ready_words[word_i];
+            while word != 0 {
+                let wi = (word_i << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                if wi == li {
+                    continue; // already tried as the greedy candidate
+                }
+                if self.try_issue(wi, now, can_stage, out, &mut budget) {
+                    self.last_issued = wi;
+                    return;
+                }
+                attempts += 1;
+                if attempts >= 4 {
+                    return;
+                }
             }
         }
     }
@@ -302,19 +393,12 @@ impl Sm {
         if !self.stage_q.is_empty() {
             return Some(now);
         }
-        let mut ev: Option<Cycle> = None;
-        let mut any_ready = false;
-        for w in &self.warps {
-            match w.state {
-                WState::Busy(until) => {
-                    let c = until.max(now);
-                    ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
-                }
-                WState::Ready => any_ready = true,
-                WState::WaitMem | WState::Done => {}
-            }
-        }
-        if any_ready {
+        // The heap min is the earliest Busy expiry (one entry per Busy warp).
+        let mut ev: Option<Cycle> = self
+            .busy_heap
+            .peek()
+            .map(|&std::cmp::Reverse((until, _))| until.max(now));
+        if self.ready_count > 0 {
             let c = self.port_free.max(now);
             ev = Some(ev.map_or(c, |e| e.min(c)));
         }
@@ -334,12 +418,7 @@ impl Sm {
         debug_assert!(self.stage_q.is_empty(), "skip with staged requests");
         let pb = self.port_free.clamp(now, target) - now;
         self.port_busy_cycles += pb;
-        if !self.done()
-            && self
-                .warps
-                .iter()
-                .all(|w| matches!(w.state, WState::WaitMem | WState::Done))
-        {
+        if !self.done() && self.ready_count == 0 && self.busy_heap.is_empty() {
             self.mem_idle_cycles += (target - now) - pb;
         }
     }
@@ -359,9 +438,8 @@ impl Sm {
         match insn {
             Instruction::Compute(k) => {
                 let k = *k;
-                let w = &mut self.warps[wi];
-                w.state = WState::Busy(now + k as Cycle);
-                w.retired += k as u64;
+                self.go_busy(wi, now + k as Cycle);
+                self.warps[wi].retired += k as u64;
                 self.retired += k as u64;
                 // The warp's k instructions occupy the shared issue port.
                 self.port_free = now + k as Cycle;
@@ -370,9 +448,8 @@ impl Sm {
             }
             Instruction::Delay(k) => {
                 let k = *k;
-                let w = &mut self.warps[wi];
-                w.state = WState::Busy(now + k as Cycle);
-                w.retired += k as u64;
+                self.go_busy(wi, now + k as Cycle);
+                self.warps[wi].retired += k as u64;
                 self.retired += k as u64;
                 self.advance(wi);
                 true
@@ -381,23 +458,67 @@ impl Sm {
                 if !can_stage {
                     return false;
                 }
-                let (addrs, mask) = (addrs.clone(), *mask);
-                self.issue_load(wi, now, &addrs, mask, out, budget)
+                if self.warps[wi].mshr_block_epoch != u64::MAX
+                    && self.fill_epoch - self.warps[wi].mshr_block_epoch
+                        < self.warps[wi].mshr_block_deficit
+                {
+                    // This load failed the MSHR capacity check with a
+                    // deficit that fills since then cannot yet have closed
+                    // — it is guaranteed to fail again (see
+                    // `WarpCtx::mshr_block_epoch`), so skip the coalesce +
+                    // classify rescan.
+                    #[cfg(debug_assertions)]
+                    {
+                        let mut lines = Vec::new();
+                        coalesce_into(addrs, *mask, self.line_shift, &mut lines);
+                        let mut fresh = Vec::new();
+                        for &l in &lines {
+                            if !self.l1.contains(l)
+                                && !self.l1_mshr.in_flight(l)
+                                && !fresh.contains(&l)
+                            {
+                                fresh.push(l);
+                            }
+                        }
+                        debug_assert!(
+                            self.l1_mshr.len() + fresh.len() > self.l1_mshr_cap,
+                            "memoized MSHR-capacity failure is no longer valid"
+                        );
+                    }
+                    self.resource_stalls += 1;
+                    return false;
+                }
+                // Coalesce here, while `addrs` is still borrowed from the
+                // (read-only) program store: issue_load then takes the line
+                // list by value and the 256-byte lane array never needs
+                // cloning.
+                let mask = *mask;
+                let mut lines = std::mem::take(&mut self.scratch_lines);
+                coalesce_into(addrs, mask, self.line_shift, &mut lines);
+                self.issue_load(wi, now, lines, mask, out, budget)
             }
             Instruction::Store { addrs, mask } => {
                 if !can_stage {
                     return false;
                 }
-                let (addrs, mask) = (addrs.clone(), *mask);
-                self.issue_store(wi, now, &addrs, mask, out, budget)
+                let mask = *mask;
+                let mut lines = std::mem::take(&mut self.scratch_lines);
+                coalesce_into(addrs, mask, self.line_shift, &mut lines);
+                self.issue_store(wi, now, lines, out, budget)
             }
         }
     }
 
     /// Send `reqs` toward the crossbar: up to `budget` immediately, the rest
-    /// through the staging queue.
-    fn dispatch(&mut self, reqs: Vec<MemRequest>, out: &mut Vec<MemRequest>, budget: &mut usize) {
-        for r in reqs {
+    /// through the staging queue. Drains in place so the caller's (scratch)
+    /// buffer is reusable.
+    fn dispatch(
+        &mut self,
+        reqs: &mut Vec<MemRequest>,
+        out: &mut Vec<MemRequest>,
+        budget: &mut usize,
+    ) {
+        for r in reqs.drain(..) {
             if *budget > 0 {
                 out.push(r);
                 *budget -= 1;
@@ -414,25 +535,31 @@ impl Sm {
         self.warps[wi].pc += 1;
     }
 
+    /// `lines` is the already-coalesced line list (built by the caller from
+    /// the instruction's lane addresses); ownership returns to
+    /// `scratch_lines` on every exit path.
     fn issue_load(
         &mut self,
         wi: usize,
         now: Cycle,
-        addrs: &[u64; 32],
+        lines: Vec<u64>,
         mask: LaneMask,
         out: &mut Vec<MemRequest>,
         budget: &mut usize,
     ) -> bool {
-        let mut lines = std::mem::take(&mut self.scratch_lines);
-        coalesce_into(addrs, mask, self.line_shift, &mut lines);
         // Classify without mutating yet (all-or-nothing issue).
-        let mut new_misses: Vec<u64> = Vec::new();
+        let mut new_misses = std::mem::take(&mut self.scratch_misses);
+        new_misses.clear();
         let mut merged = 0u32;
         let mut new_entries = 0usize;
-        for &l in &lines {
+        // Bit i set = lines[i] missed; the commit loop reuses this (L1
+        // state cannot change in between) to skip re-scanning the set.
+        let mut miss_mask = 0u64;
+        for (i, &l) in lines.iter().enumerate() {
             if self.l1.contains(l) {
                 continue;
             }
+            miss_mask |= 1u64 << i;
             if self.l1_mshr.in_flight(l) {
                 merged += 1;
             } else if !new_misses.contains(&l) {
@@ -442,7 +569,11 @@ impl Sm {
         }
         if self.l1_mshr.len() + new_entries > self.l1_mshr_capacity() {
             self.resource_stalls += 1;
+            self.warps[wi].mshr_block_epoch = self.fill_epoch;
+            self.warps[wi].mshr_block_deficit =
+                (self.l1_mshr.len() + new_entries - self.l1_mshr_capacity()) as u64;
             self.scratch_lines = lines;
+            self.scratch_misses = new_misses;
             return false;
         }
         // Commit: probe hits (LRU update + stats), register misses.
@@ -454,10 +585,14 @@ impl Sm {
         self.warps[wi].load_serial += 1;
 
         let mut outstanding = 0u32;
-        for &l in &lines {
-            if self.l1.probe(l, false) {
-                continue; // L1 hit: satisfied this cycle.
+        for (i, &l) in lines.iter().enumerate() {
+            if miss_mask >> i & 1 == 0 {
+                // L1 hit: satisfied this cycle (probe refreshes LRU/stats).
+                let hit = self.l1.probe(l, false);
+                debug_assert!(hit);
+                continue;
             }
+            self.l1.probe_known_miss(l);
             outstanding += 1;
             match self.l1_mshr.register(l, wi as u16) {
                 MshrOutcome::Allocated | MshrOutcome::Merged => {}
@@ -468,7 +603,8 @@ impl Sm {
 
         // Build the warp-group of outgoing requests, with per-channel sizes
         // and last-of-group tags.
-        let mut reqs: Vec<MemRequest> = Vec::with_capacity(new_misses.len());
+        let mut reqs = std::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
         let mut per_channel = [0u16; 16];
         for &l in &new_misses {
             let d = self.mapper.decode(l << self.line_shift);
@@ -485,6 +621,7 @@ impl Sm {
                 arrival_cycle: 0,
             });
         }
+        self.scratch_misses = new_misses;
         let mut seen = [0u16; 16];
         for r in reqs.iter_mut() {
             let c = r.decoded.channel.0 as usize;
@@ -493,29 +630,42 @@ impl Sm {
             r.last_of_group = seen[c] == per_channel[c];
         }
 
-        // Load record bookkeeping.
+        // Load record bookkeeping. One sorted pass over (channel, bank,
+        // row) keys yields both the distinct-bank count and the same-row
+        // membership count: a run of m > 1 equal keys contributes its m
+        // members — exactly the old O(k²) "shares a row with another
+        // member" scan — and the distinct (channel, bank) prefixes are the
+        // old sort-dedup pair count.
         let mut channels = 0u32;
         for &c in per_channel.iter() {
             if c > 0 {
                 channels += 1;
             }
         }
-        let mut bank_pairs: Vec<(u8, u8)> = reqs
-            .iter()
-            .map(|r| (r.decoded.channel.0, r.decoded.bank.0))
-            .collect();
-        bank_pairs.sort_unstable();
-        bank_pairs.dedup();
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        keys.clear();
+        keys.extend(
+            reqs.iter()
+                .map(|r| (r.decoded.channel.0, r.decoded.bank.0, r.decoded.row)),
+        );
+        keys.sort_unstable();
+        let mut banks = 0u32;
         let mut same_row = 0u32;
-        for (i, a) in reqs.iter().enumerate() {
-            if reqs
-                .iter()
-                .enumerate()
-                .any(|(j, b)| i != j && a.decoded.same_row(&b.decoded))
-            {
-                same_row += 1;
+        let mut i = 0;
+        while i < keys.len() {
+            if i == 0 || (keys[i].0, keys[i].1) != (keys[i - 1].0, keys[i - 1].1) {
+                banks += 1;
             }
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == keys[i] {
+                j += 1;
+            }
+            if j - i > 1 {
+                same_row += (j - i) as u32;
+            }
+            i = j;
         }
+        self.scratch_keys = keys;
         let rec = LoadRecord {
             warp: warp_gid,
             active_lanes: mask.count(),
@@ -527,46 +677,49 @@ impl Sm {
             first_dram: 0,
             last_dram: 0,
             channels_touched: channels,
-            banks_touched: bank_pairs.len() as u32,
+            banks_touched: banks,
             same_row_reqs: same_row,
         };
 
-        self.dispatch(reqs, out, budget);
-        let w = &mut self.warps[wi];
-        w.cur = rec;
-        w.outstanding = outstanding;
-        w.retired += 1;
+        self.dispatch(&mut reqs, out, budget);
+        self.scratch_reqs = reqs;
+        {
+            let w = &mut self.warps[wi];
+            w.cur = rec;
+            w.outstanding = outstanding;
+            w.retired += 1;
+        }
         self.retired += 1;
         if outstanding == 0 {
             // All lanes hit in L1: the load costs one cycle.
-            self.records.push(w.cur);
-            w.state = WState::Busy(now + 1);
+            self.records.push(rec);
+            self.go_busy(wi, now + 1);
         } else {
-            w.state = WState::WaitMem;
+            self.clear_ready(wi);
+            self.warps[wi].state = WState::WaitMem;
         }
         self.advance(wi);
         self.scratch_lines = lines;
         true
     }
 
+    /// `lines` is the already-coalesced line list; see [`Self::issue_load`].
     fn issue_store(
         &mut self,
         wi: usize,
         now: Cycle,
-        addrs: &[u64; 32],
-        mask: LaneMask,
+        lines: Vec<u64>,
         out: &mut Vec<MemRequest>,
         budget: &mut usize,
     ) -> bool {
-        let mut lines = std::mem::take(&mut self.scratch_lines);
-        coalesce_into(addrs, mask, self.line_shift, &mut lines);
         let warp_gid = GlobalWarpId {
             sm: self.id,
             warp: ldsim_types::ids::WarpId(wi as u16),
         };
         let wg = WarpGroupId::new(warp_gid, self.warps[wi].load_serial);
         self.warps[wi].load_serial += 1;
-        let mut reqs = Vec::with_capacity(lines.len());
+        let mut reqs = std::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
         for &l in &lines {
             // Write-through, no-allocate: keep L1 coherent by invalidation.
             self.l1.invalidate(l);
@@ -583,11 +736,11 @@ impl Sm {
                 arrival_cycle: 0,
             });
         }
-        self.dispatch(reqs, out, budget);
-        let w = &mut self.warps[wi];
-        w.retired += 1;
+        self.dispatch(&mut reqs, out, budget);
+        self.scratch_reqs = reqs;
+        self.warps[wi].retired += 1;
         self.retired += 1;
-        w.state = WState::Busy(now + 1);
+        self.go_busy(wi, now + 1);
         self.advance(wi);
         self.scratch_lines = lines;
         true

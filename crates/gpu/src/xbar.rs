@@ -23,6 +23,12 @@ pub struct Crossbar<T> {
     flight: VecDeque<(Cycle, usize, T)>,
     rr: usize,
     pub accepted: u64,
+    /// Per-tick scratch (grant/blocked flags per destination, rejected
+    /// deliveries to requeue) — reused across cycles, this is a per-cycle
+    /// hot path.
+    granted: Vec<bool>,
+    blocked: Vec<bool>,
+    kept: Vec<(Cycle, usize, T)>,
 }
 
 impl<T> Crossbar<T> {
@@ -35,6 +41,9 @@ impl<T> Crossbar<T> {
             flight: VecDeque::new(),
             rr: 0,
             accepted: 0,
+            granted: vec![false; num_dsts],
+            blocked: vec![false; num_dsts],
+            kept: Vec::new(),
         }
     }
 
@@ -68,38 +77,38 @@ impl<T> Crossbar<T> {
     ) {
         let ns = self.src_q.len();
         // One grant per destination per cycle.
-        let mut granted = vec![false; self.num_dsts];
+        self.granted.fill(false);
         let start = self.rr;
         for off in 0..ns {
             let s = (start + off) % ns;
             let Some(&(dst, _)) = self.src_q[s].front() else {
                 continue;
             };
-            if granted[dst] {
+            if self.granted[dst] {
                 continue;
             }
-            granted[dst] = true;
+            self.granted[dst] = true;
             let (dst, t) = self.src_q[s].pop_front().unwrap();
             self.flight.push_back((now + self.latency, dst, t));
             self.accepted += 1;
         }
         self.rr = (self.rr + 1) % ns;
         // Deliver due payloads; rejected destinations retry next cycle.
-        let mut kept: Vec<(Cycle, usize, T)> = Vec::new();
-        let mut dst_blocked = vec![false; self.num_dsts];
+        debug_assert!(self.kept.is_empty());
+        self.blocked.fill(false);
         while let Some(&(arrive, _, _)) = self.flight.front() {
             if arrive > now {
                 break;
             }
             let (a, dst, t) = self.flight.pop_front().unwrap();
-            if !dst_blocked[dst] && can_accept(dst) {
+            if !self.blocked[dst] && can_accept(dst) {
                 deliver(dst, t);
             } else {
-                dst_blocked[dst] = true;
-                kept.push((a, dst, t));
+                self.blocked[dst] = true;
+                self.kept.push((a, dst, t));
             }
         }
-        for r in kept.into_iter().rev() {
+        for r in self.kept.drain(..).rev() {
             self.flight.push_front(r);
         }
     }

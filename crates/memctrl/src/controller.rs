@@ -24,8 +24,9 @@ use ldsim_types::config::MemConfig;
 use ldsim_types::ids::{ChannelId, WarpGroupId};
 use ldsim_types::req::{MemRequest, MemResponse, ReqKind};
 use ldsim_types::stats::Histogram;
+use ldsim_util::FnvHashSet;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Command-queue capacity per bank.
 pub const CMD_Q_CAP: usize = 8;
@@ -113,7 +114,13 @@ pub struct Controller {
     merb: MerbTable,
 
     entry_q: VecDeque<MemRequest>,
-    write_q: VecDeque<MemRequest>,
+    /// FR-among-writes removes from the middle; tombstones (`None`) keep
+    /// removal O(1) while preserving FIFO order for the survivors. Leading
+    /// tombstones are popped eagerly; interior ones are compacted once they
+    /// outnumber the live entries.
+    write_q: VecDeque<Option<MemRequest>>,
+    /// Live (non-tombstone) entries in `write_q`.
+    write_q_live: usize,
     cmd_q: Vec<VecDeque<CmdEntry>>,
     last_sched_row: Vec<Option<u32>>,
     sched_hits_since_row: Vec<u8>,
@@ -132,7 +139,7 @@ pub struct Controller {
     /// (writes are always bus-legal; reads after write data wait tWTR, so
     /// unordered issue would starve reads).
     read_cmds_pending: usize,
-    fast_groups: HashSet<WarpGroupId>,
+    fast_groups: FnvHashSet<WarpGroupId>,
     fast_q: VecDeque<MemRequest>,
 
     completions: BinaryHeap<Reverse<Completion>>,
@@ -152,6 +159,17 @@ pub struct Controller {
     /// Busy-bank count (the MERB view's notion of in-service banks) sampled
     /// at every successful read pick (None = zero cost). Observation-only.
     merb_occ_hist: Option<Box<Histogram>>,
+    /// Cached [`Channel::ready_cycle`] of each bank's front command, valid
+    /// while `ready_epoch[b] == chan_epoch`. Because `ready_cycle` is the
+    /// exact inverse of `can_issue` and command legality is monotone in time
+    /// for a fixed channel state, `now >= cached` (with the cache valid)
+    /// decides issuability without re-deriving timing (DESIGN.md §13).
+    ready_cache: Vec<Cycle>,
+    ready_epoch: Vec<u64>,
+    /// Bumped on every channel mutation; per-bank epochs of 0 never match
+    /// (the counter starts at 1), which is how queue-front changes are
+    /// invalidated individually.
+    chan_epoch: u64,
 }
 
 impl Controller {
@@ -187,6 +205,7 @@ impl Controller {
             merb,
             entry_q: VecDeque::new(),
             write_q: VecDeque::new(),
+            write_q_live: 0,
             cmd_q: (0..nb).map(|_| VecDeque::new()).collect(),
             last_sched_row: vec![None; nb],
             sched_hits_since_row: vec![0; nb],
@@ -198,7 +217,7 @@ impl Controller {
             refresh_enabled: mem.refresh_enabled,
             refresh_pending: false,
             read_cmds_pending: 0,
-            fast_groups: HashSet::new(),
+            fast_groups: FnvHashSet::default(),
             fast_q: VecDeque::new(),
             completions: BinaryHeap::new(),
             seq: 0,
@@ -211,13 +230,23 @@ impl Controller {
             snapshot: vec![BankSnapshot::default(); nb],
             depth_hist: None,
             merb_occ_hist: None,
+            ready_cache: vec![0; nb],
+            ready_epoch: vec![0; nb],
+            chan_epoch: 1,
         }
+    }
+
+    /// The channel's timing state changed: every cached front-command
+    /// ready-cycle is stale.
+    #[inline]
+    fn touch_channel(&mut self) {
+        self.chan_epoch += 1;
     }
 
     /// Requests waiting anywhere in the controller.
     pub fn pending(&self) -> usize {
         self.entry_q.len()
-            + self.write_q.len()
+            + self.write_q_live
             + self.policy.pending()
             + self.fast_q.len()
             + self.cmd_q.iter().map(|q| q.len()).sum::<usize>()
@@ -243,7 +272,7 @@ impl Controller {
         if !self.outbox.is_empty()
             || !self.coord_out.is_empty()
             || !self.entry_q.is_empty()
-            || !self.write_q.is_empty()
+            || self.write_q_live > 0
             || self.policy.pending() > 0
         {
             return Some(now);
@@ -307,7 +336,7 @@ impl Controller {
             .iter()
             .filter(|r| r.kind == ReqKind::Write)
             .count()
-            + self.write_q.len()
+            + self.write_q_live
     }
 
     pub fn write_capacity(&self) -> usize {
@@ -407,6 +436,7 @@ impl Controller {
             if self.channel.bank(bank).is_open() {
                 if self.channel.can_pre(bank, now) {
                     self.channel.issue_pre(bank, now);
+                    self.touch_channel();
                     self.last_sched_row[b] = None;
                     self.sched_hits_since_row[b] = 0;
                 }
@@ -416,6 +446,7 @@ impl Controller {
         // 3. Issue REFab once every bank has settled.
         if self.channel.can_refresh(now) {
             self.channel.issue_refresh(now);
+            self.touch_channel();
             self.stats.refreshes += 1;
             return true;
         }
@@ -462,12 +493,13 @@ impl Controller {
                         r.arrival_cycle = now;
                         self.policy.on_arrival(r, now);
                     } else {
-                        if self.write_q.len() >= self.write_q_cap {
+                        if self.write_q_live >= self.write_q_cap {
                             break;
                         }
                         let mut r = self.entry_q.pop_front().unwrap();
                         r.arrival_cycle = now;
-                        self.write_q.push_back(r);
+                        self.write_q.push_back(Some(r));
+                        self.write_q_live += 1;
                     }
                 }
             }
@@ -481,8 +513,8 @@ impl Controller {
             return;
         }
         if !self.draining {
-            let forced = self.write_q.len() >= self.write_hi;
-            let opportunistic = !self.write_q.is_empty()
+            let forced = self.write_q_live >= self.write_hi;
+            let opportunistic = self.write_q_live > 0
                 && self.policy.pending() == 0
                 && self.entry_q.is_empty()
                 && self.fast_q.is_empty();
@@ -493,7 +525,7 @@ impl Controller {
                     self.classify_drain_stalls();
                 }
             }
-        } else if self.write_q.len() <= self.write_lo || self.write_q.is_empty() {
+        } else if self.write_q_live <= self.write_lo {
             self.draining = false;
         }
     }
@@ -521,7 +553,7 @@ impl Controller {
             now,
             banks: &self.snapshot,
             groups: &self.groups,
-            write_q_len: self.write_q.len(),
+            write_q_len: self.write_q_live,
             write_hi: self.write_hi,
             wgw_margin: self.wgw_margin,
             merb: &self.merb,
@@ -541,6 +573,7 @@ impl Controller {
         // subject to command-queue headroom.
         let mut choice: Option<usize> = None;
         for (i, w) in self.write_q.iter().enumerate() {
+            let Some(w) = w else { continue };
             let b = w.decoded.bank.0 as usize;
             let hit = self.last_sched_row[b] == Some(w.decoded.row);
             let need = if hit { 1 } else { 3 };
@@ -556,7 +589,17 @@ impl Controller {
             }
         }
         if let Some(i) = choice {
-            let req = self.write_q.remove(i).unwrap();
+            let req = self.write_q[i].take().unwrap();
+            self.write_q_live -= 1;
+            while matches!(self.write_q.front(), Some(None)) {
+                self.write_q.pop_front();
+            }
+            // Interior tombstones can pile up only if the front entry is
+            // persistently headroom-blocked; compact before they dominate
+            // the scan.
+            if self.write_q.len() > 2 * self.write_q_live {
+                self.write_q.retain(Option::is_some);
+            }
             self.enqueue_transaction(req);
         }
     }
@@ -564,6 +607,10 @@ impl Controller {
     /// Expand one request into commands in its bank's queue.
     fn enqueue_transaction(&mut self, req: MemRequest) {
         let b = req.decoded.bank.0 as usize;
+        // If the bank's queue was empty, the pushes below install a new
+        // front command; drop its cached ready-cycle (0 never matches
+        // `chan_epoch`, which starts at 1).
+        self.ready_epoch[b] = 0;
         if let Some(h) = self.depth_hist.as_deref_mut() {
             h.add(self.cmd_q[b].len() as u64);
         }
@@ -646,6 +693,7 @@ impl Controller {
         // Zero-divergence fast path: one bus-only read per cycle.
         if !self.fast_q.is_empty() {
             if let Some(done) = self.channel.try_fast_read(now) {
+                self.touch_channel();
                 let r = self.fast_q.pop_front().unwrap();
                 self.stats.fast_reads += 1;
                 self.finish_request(&r, done);
@@ -670,11 +718,27 @@ impl Controller {
                 {
                     continue;
                 }
-                if !self.channel.can_issue(&entry.cmd, now) {
+                // Cached legality: `ready_cycle` is the exact inverse of
+                // `can_issue`, and legality is monotone in time while the
+                // channel state is unchanged (every mutation bumps
+                // `chan_epoch`), so the comparison below is bit-exact with
+                // re-deriving the timing each cycle.
+                let ready = if self.ready_epoch[b] == self.chan_epoch {
+                    self.ready_cache[b]
+                } else {
+                    let r = self.channel.ready_cycle(&entry.cmd);
+                    self.ready_cache[b] = r;
+                    self.ready_epoch[b] = self.chan_epoch;
+                    r
+                };
+                if now < ready || ready == Cycle::MAX {
+                    debug_assert!(!self.channel.can_issue(&entry.cmd, now));
                     continue;
                 }
+                debug_assert!(self.channel.can_issue(&entry.cmd, now));
                 let entry = self.cmd_q[b].pop_front().unwrap();
                 let done = self.channel.issue(&entry.cmd, now);
+                self.touch_channel();
                 if matches!(entry.cmd, Command::Read { .. }) {
                     self.read_cmds_pending -= 1;
                 }

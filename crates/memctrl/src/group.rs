@@ -11,7 +11,7 @@
 
 use ldsim_types::ids::WarpGroupId;
 use ldsim_types::req::MemRequest;
-use std::collections::HashMap;
+use ldsim_util::FnvHashMap;
 
 /// Per-group arrival/service counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl GroupState {
 /// Tracks every warp-group with in-flight state at one controller.
 #[derive(Debug, Clone, Default)]
 pub struct GroupTracker {
-    groups: HashMap<WarpGroupId, GroupState>,
+    groups: FnvHashMap<WarpGroupId, GroupState>,
 }
 
 impl GroupTracker {

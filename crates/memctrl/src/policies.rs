@@ -19,20 +19,23 @@ use ldsim_types::clock::Cycle;
 use ldsim_types::config::{MemConfig, SchedulerKind};
 use ldsim_types::ids::{GlobalWarpId, WarpGroupId};
 use ldsim_types::req::MemRequest;
-use std::collections::HashMap;
+use ldsim_util::FnvHashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Arrival-ordered request storage with per-bank occupancy counts, shared by
-/// the baseline policies.
+/// the baseline policies. Backed by a `VecDeque` so the common oldest-first
+/// removal shifts nothing (and a mid-queue removal shifts only the shorter
+/// side) while iteration stays in strict arrival order.
 #[derive(Debug, Default)]
 pub struct ReqStore {
-    reqs: Vec<MemRequest>,
+    reqs: VecDeque<MemRequest>,
     bank_count: Vec<usize>,
 }
 
 impl ReqStore {
     pub fn with_banks(n: usize) -> Self {
         Self {
-            reqs: Vec::new(),
+            reqs: VecDeque::new(),
             bank_count: vec![0; n],
         }
     }
@@ -40,7 +43,7 @@ impl ReqStore {
     pub fn push(&mut self, req: MemRequest) {
         self.ensure_banks(req.decoded.bank.0 as usize + 1);
         self.bank_count[req.decoded.bank.0 as usize] += 1;
-        self.reqs.push(req);
+        self.reqs.push_back(req);
     }
 
     fn ensure_banks(&mut self, n: usize) {
@@ -57,17 +60,17 @@ impl ReqStore {
         self.reqs.is_empty()
     }
 
-    pub fn iter(&self) -> std::slice::Iter<'_, MemRequest> {
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, MemRequest> {
         self.reqs.iter()
     }
 
-    pub fn as_slice(&self) -> &[MemRequest] {
-        &self.reqs
+    pub fn get(&self, idx: usize) -> Option<&MemRequest> {
+        self.reqs.get(idx)
     }
 
     /// Remove by position (arrival order preserved for the rest).
     pub fn remove(&mut self, idx: usize) -> MemRequest {
-        let r = self.reqs.remove(idx);
+        let r = self.reqs.remove(idx).expect("ReqStore index in bounds");
         self.bank_count[r.decoded.bank.0 as usize] -= 1;
         r
     }
@@ -494,7 +497,7 @@ pub struct ParBs {
     store: ReqStore,
     marked: Vec<bool>,
     /// Warp rank at batch formation (lower = higher priority).
-    rank: HashMap<GlobalWarpId, u32>,
+    rank: FnvHashMap<GlobalWarpId, u32>,
     marking_cap: usize,
     pub batches_formed: u64,
 }
@@ -504,7 +507,7 @@ impl ParBs {
         Self {
             store: ReqStore::default(),
             marked: Vec::new(),
-            rank: HashMap::new(),
+            rank: FnvHashMap::default(),
             marking_cap,
             batches_formed: 0,
         }
@@ -513,8 +516,10 @@ impl ParBs {
     fn form_batch(&mut self) {
         self.batches_formed += 1;
         self.rank.clear();
-        // Mark up to cap oldest requests per (warp, bank).
-        let mut per: HashMap<(GlobalWarpId, u8), usize> = HashMap::new();
+        // Mark up to cap oldest requests per (warp, bank). (The map is
+        // sorted before ranks are assigned, so its iteration order never
+        // reaches an observable decision.)
+        let mut per: FnvHashMap<(GlobalWarpId, u8), usize> = FnvHashMap::default();
         for (i, r) in self.store.iter().enumerate() {
             let key = (r.wg.warp, r.decoded.bank.0);
             let c = per.entry(key).or_insert(0);
@@ -524,7 +529,7 @@ impl ParBs {
             }
         }
         // MAX rule: rank by the warp's maximum marked count over banks.
-        let mut max_per_warp: HashMap<GlobalWarpId, usize> = HashMap::new();
+        let mut max_per_warp: FnvHashMap<GlobalWarpId, usize> = FnvHashMap::default();
         for ((w, _), c) in per {
             let e = max_per_warp.entry(w).or_insert(0);
             *e = (*e).max(c);
@@ -584,7 +589,7 @@ impl Policy for ParBs {
         let mut out = Vec::new();
         let mut i = 0;
         while i < self.store.len() {
-            if self.store.as_slice()[i].wg == wg {
+            if self.store.get(i).is_some_and(|r| r.wg == wg) {
                 self.marked.remove(i);
                 out.push(self.store.remove(i));
             } else {
@@ -613,10 +618,11 @@ impl Policy for ParBs {
 #[derive(Debug)]
 pub struct AtlasLite {
     store: ReqStore,
-    /// Service accumulated in the current epoch.
-    attained: HashMap<GlobalWarpId, u64>,
+    /// Service accumulated in the current epoch. Sorted by (service, warp)
+    /// at each epoch roll, so map iteration order is unobservable.
+    attained: FnvHashMap<GlobalWarpId, u64>,
     /// Rank assigned at the last epoch boundary (lower = served first).
-    rank: HashMap<GlobalWarpId, u32>,
+    rank: FnvHashMap<GlobalWarpId, u32>,
     epoch: Cycle,
     next_epoch: Cycle,
     pub epochs: u64,
@@ -626,8 +632,8 @@ impl AtlasLite {
     pub fn new(epoch: Cycle) -> Self {
         Self {
             store: ReqStore::default(),
-            attained: HashMap::new(),
-            rank: HashMap::new(),
+            attained: FnvHashMap::default(),
+            rank: FnvHashMap::default(),
             epoch,
             next_epoch: 0,
             epochs: 0,

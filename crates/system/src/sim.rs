@@ -13,8 +13,8 @@ use ldsim_types::config::{SchedulerKind, SimConfig};
 use ldsim_types::ids::{ChannelId, SmId, WarpGroupId};
 use ldsim_types::kernel::KernelProgram;
 use ldsim_types::req::MemResponse;
+use ldsim_util::FnvHashSet;
 use ldsim_warpsched::{make_policy, CoordNetwork};
-use std::collections::HashSet;
 
 /// The assembled machine.
 pub struct Simulator {
@@ -25,12 +25,13 @@ pub struct Simulator {
     resp_xbar: Crossbar<SmResponse>,
     coord: CoordNetwork,
     zero_div: bool,
-    fast_seen: HashSet<WarpGroupId>,
+    fast_seen: FnvHashSet<WarpGroupId>,
     benchmark: String,
     // Scratch buffers reused every cycle.
     resp_buf: Vec<MemResponse>,
     coord_buf: Vec<CoordMsg>,
     sm_out: Vec<ldsim_types::req::MemRequest>,
+    room_buf: Vec<usize>,
     // Conservation counters (always on; two u64 increments per event).
     mem_read_requests: u64,
     mem_read_responses: u64,
@@ -120,7 +121,7 @@ impl Simulator {
             ),
             coord: CoordNetwork::new(num_ch, cfg.mem.coord_latency),
             zero_div,
-            fast_seen: HashSet::new(),
+            fast_seen: FnvHashSet::default(),
             benchmark: kernel.name.clone(),
             sms,
             partitions,
@@ -128,6 +129,7 @@ impl Simulator {
             resp_buf: Vec::new(),
             coord_buf: Vec::new(),
             sm_out: Vec::new(),
+            room_buf: Vec::new(),
             mem_read_requests: 0,
             mem_read_responses: 0,
             lost_requests: 0,
@@ -341,9 +343,13 @@ impl Simulator {
         // timing (Fig. 4's model).
         let zero_div = self.zero_div;
         let fast_seen = &mut self.fast_seen;
-        // Snapshot per-partition input room; the acceptance closure draws it
-        // down as deliveries are granted within this tick.
-        let mut room: Vec<usize> = self.partitions.iter().map(|p| p.input_room()).collect();
+        // Snapshot per-partition input room (reused buffer — this runs every
+        // cycle); the acceptance closure draws it down as deliveries are
+        // granted within this tick.
+        self.room_buf.clear();
+        self.room_buf
+            .extend(self.partitions.iter().map(|p| p.input_room()));
+        let room = &mut self.room_buf;
         let partitions = &mut self.partitions;
         let req_count = &mut self.mem_read_requests;
         let wg_events = &mut self.wg_events;

@@ -66,6 +66,90 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// FNV-1a as a [`std::hash::Hasher`], for `HashMap`/`HashSet` keys.
+///
+/// Much cheaper than `std`'s default SipHash on the small fixed-width keys
+/// the simulator uses everywhere (line addresses, warp-group ids), and —
+/// unlike `RandomState` — deterministic across runs, so map iteration order
+/// is at least reproducible within one build. Code that *iterates* such a
+/// map must still resolve picks through an explicit total order (see
+/// DESIGN.md §13); determinism of the hasher is hardening, not a licence to
+/// depend on iteration order.
+///
+/// Integer keys take the fast word-at-a-time path (`write_u64` etc. fold
+/// the whole word in one multiply); byte-slice keys stream per byte like
+/// canonical FNV-1a. The two paths differ (word folding is not
+/// byte-for-byte FNV), which is fine for hash tables but means
+/// [`FnvHasher`] output must never be used as a *stable* digest — that is
+/// what [`Fnv64`] is for.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(OFFSET)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, x: u16) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(PRIME);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FnvHasher`]s (zero-sized, `const`-constructible).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// `HashMap` keyed through [`FnvHasher`] — drop-in for `std::collections::HashMap`.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// `HashSet` keyed through [`FnvHasher`] — drop-in for `std::collections::HashSet`.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +167,34 @@ mod tests {
         let mut h = Fnv64::new();
         h.write(b"foo").write(b"bar");
         assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn hasher_maps_behave_and_are_deterministic() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut m: FnvHashMap<u64, u32> = FnvHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i as u32);
+        }
+        for i in 0..1000u64 {
+            let k = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(m.get(&k), Some(&(i as u32)));
+        }
+        let mut s: FnvHashSet<(u16, u16, u32)> = FnvHashSet::default();
+        assert!(s.insert((1, 2, 3)));
+        assert!(!s.insert((1, 2, 3)));
+        // Same key, same build → same hash (no RandomState).
+        let h = |x: u64| {
+            let mut h = FnvBuildHasher.build_hasher();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        // Byte-slice path still matches canonical FNV-1a.
+        let mut h = FnvHasher::default();
+        Hasher::write(&mut h, b"foobar");
+        assert_eq!(Hasher::finish(&h), 0x85944171f73967e8);
     }
 
     #[test]

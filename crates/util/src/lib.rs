@@ -16,7 +16,7 @@ pub mod json;
 pub mod par;
 pub mod rng;
 
-pub use hash::Fnv64;
+pub use hash::{Fnv64, FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use json::JsonObject;
 pub use par::parallel_map;
 pub use rng::StdRng;

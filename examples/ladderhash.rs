@@ -1,0 +1,49 @@
+//! Prints a stable digest line per (benchmark, scheduler) cell of the
+//! 7-scheduler ladder × irregular suite: trace hash, cycles, instructions
+//! and the policy counters. Diffing this output across two builds is the
+//! quickest way to check cross-build bit-exactness of the simulator.
+//!
+//! Usage: `cargo run --release --example ladderhash [tiny|small]`
+
+use ldsim::prelude::*;
+
+const LADDER: &[SchedulerKind] = &[
+    SchedulerKind::Gmc,
+    SchedulerKind::Wg,
+    SchedulerKind::WgM,
+    SchedulerKind::WgBw,
+    SchedulerKind::WgW,
+    SchedulerKind::Wafcfs,
+    SchedulerKind::Sbwas { alpha_q: 2 },
+];
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let scale = match arg.as_str() {
+        "small" => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    for bench in ldsim::system::runner::irregular_names() {
+        let kernel = benchmark(bench, scale, 11).generate();
+        for &kind in LADDER {
+            let cfg = SimConfig::default()
+                .with_scheduler(kind)
+                .with_trace()
+                .with_hist();
+            let mut cfg = cfg;
+            cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
+            let (r, trace) = Simulator::new(cfg, &kernel).run_traced();
+            println!(
+                "{bench} {kind:?} hash={:016x} cycles={} insns={} counters={:?} \
+                 reads={}/{} gap_p99={}",
+                trace.map(|t| t.stable_hash()).unwrap_or(0),
+                r.cycles,
+                r.instructions,
+                r.policy_counters,
+                r.mem_read_responses,
+                r.mem_read_requests,
+                r.gap_p99,
+            );
+        }
+    }
+}
