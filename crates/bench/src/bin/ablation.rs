@@ -7,100 +7,6 @@
 //!    policy navigates),
 //! 4. bank groups (GDDR5's tCCDL/tCCDS split vs a flat tCCDL-only device).
 
-use ldsim_bench::cli;
-use ldsim_system::runner::run_one_with;
-use ldsim_system::table::{f2, pct, Table};
-use ldsim_types::config::SchedulerKind;
-
 fn main() {
-    let (scale, seed) = cli();
-    let bench = "sssp"; // multi-controller benchmark: most coordination-sensitive
-
-    println!("Ablation 1 — WG-M coordination latency ({bench})\n");
-    let mut t = Table::new(&["coord latency (cyc)", "IPC", "divergence gap"]);
-    for lat in [1u64, 4, 16, 64, 256] {
-        let r = run_one_with(bench, scale, seed, SchedulerKind::WgM, |c| {
-            c.mem.coord_latency = lat;
-        });
-        t.row(vec![lat.to_string(), f2(r.ipc()), f2(r.avg_dram_gap)]);
-    }
-    t.print();
-
-    println!("\nAblation 2 — write-drain watermarks (nw, WG-W)\n");
-    let mut t = Table::new(&["hi/lo", "IPC", "drains", "stalled groups"]);
-    for (hi, lo) in [(8usize, 4usize), (16, 8), (32, 16), (48, 24)] {
-        let r = run_one_with("nw", scale, seed, SchedulerKind::WgW, |c| {
-            c.mem.write_hi = hi;
-            c.mem.write_lo = lo;
-        });
-        t.row(vec![
-            format!("{hi}/{lo}"),
-            f2(r.ipc()),
-            r.drains.to_string(),
-            r.drain_stalled_groups.to_string(),
-        ]);
-    }
-    t.print();
-
-    println!("\nAblation 3 — bank groups: GDDR5 tCCDS vs flat tCCDL ({bench}, GMC)\n");
-    let mut t = Table::new(&["column spacing", "IPC", "bus util"]);
-    let base = run_one_with(bench, scale, seed, SchedulerKind::Gmc, |_| {});
-    t.row(vec![
-        "tCCDL=3 / tCCDS=2 (bank groups)".into(),
-        f2(base.ipc()),
-        pct(base.bw_utilization),
-    ]);
-    let flat = run_one_with(bench, scale, seed, SchedulerKind::Gmc, |c| {
-        c.mem.timing.t_ccds_ck = c.mem.timing.t_ccdl_ck;
-    });
-    t.row(vec![
-        "flat tCCD=3 (no groups)".into(),
-        f2(flat.ipc()),
-        pct(flat.bw_utilization),
-    ]);
-    t.print();
-
-    println!("\nAblation 4 — refresh and page policy (spmv, GMC)\n");
-    let mut t = Table::new(&["configuration", "IPC", "row-hit rate", "bus util"]);
-    let base = run_one_with("spmv", scale, seed, SchedulerKind::Gmc, |_| {});
-    t.row(vec![
-        "open page, refresh on (default)".into(),
-        f2(base.ipc()),
-        pct(base.row_hit_rate),
-        pct(base.bw_utilization),
-    ]);
-    let norefresh = run_one_with("spmv", scale, seed, SchedulerKind::Gmc, |c| {
-        c.mem.refresh_enabled = false;
-    });
-    t.row(vec![
-        "open page, refresh off".into(),
-        f2(norefresh.ipc()),
-        pct(norefresh.row_hit_rate),
-        pct(norefresh.bw_utilization),
-    ]);
-    let closed = run_one_with("spmv", scale, seed, SchedulerKind::Gmc, |c| {
-        c.mem.page_policy = ldsim_types::config::PagePolicy::Closed;
-    });
-    t.row(vec![
-        "closed page (auto-precharge)".into(),
-        f2(closed.ipc()),
-        pct(closed.row_hit_rate),
-        pct(closed.bw_utilization),
-    ]);
-    t.print();
-
-    println!("\nAblation 5 — GMC row-hit streak cap (spmv)\n");
-    let mut t = Table::new(&["max streak", "IPC", "row-hit rate", "divergence gap"]);
-    for streak in [2usize, 8, 16, 64] {
-        let r = run_one_with("spmv", scale, seed, SchedulerKind::Gmc, |c| {
-            c.mem.gmc_max_streak = streak;
-        });
-        t.row(vec![
-            streak.to_string(),
-            f2(r.ipc()),
-            pct(r.row_hit_rate),
-            f2(r.avg_dram_gap),
-        ]);
-    }
-    t.print();
+    ldsim_bench::figures::standalone_main("ablation");
 }

@@ -4,49 +4,6 @@
 //! inside the paper's reported ranges: ~56% divergent loads, ~5.9 requests
 //! per load, ~2.5 controllers per warp, ~30% same-row requests, ~2 banks.
 
-use ldsim_bench::cli;
-use ldsim_system::runner::{irregular_names, run_one};
-use ldsim_system::table::{f2, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let mut t = Table::new(&["metric", "measured", "paper", "band", "ok"]);
-    let (mut df, mut rpl, mut ch, mut sr, mut bk) = (vec![], vec![], vec![], vec![], vec![]);
-    for b in irregular_names() {
-        let r = run_one(b, scale, seed, SchedulerKind::Gmc);
-        df.push(r.divergent_frac());
-        rpl.push(r.avg_reqs_per_load);
-        ch.push(r.avg_channels_touched);
-        sr.push(r.same_row_frac);
-        bk.push(r.avg_banks_touched);
-    }
-    let checks: Vec<(&str, f64, f64, (f64, f64))> = vec![
-        ("divergent load fraction", mean(&df), 0.56, (0.40, 0.72)),
-        ("requests per load", mean(&rpl), 5.9, (3.0, 8.0)),
-        ("controllers per warp", mean(&ch), 2.5, (1.8, 3.3)),
-        ("same-row fraction", mean(&sr), 0.30, (0.15, 0.45)),
-        ("(ch,bank) pairs per warp", mean(&bk), 4.0, (2.0, 7.0)),
-    ];
-    let mut all_ok = true;
-    for (name, got, paper, (lo, hi)) in checks {
-        let ok = got >= lo && got <= hi;
-        all_ok &= ok;
-        t.row(vec![
-            name.into(),
-            if name.contains("fraction") {
-                pct(got)
-            } else {
-                f2(got)
-            },
-            f2(paper),
-            format!("[{}, {}]", f2(lo), f2(hi)),
-            if ok { "yes".into() } else { "NO".into() },
-        ]);
-    }
-    println!("Workload calibration vs the paper's reported characteristics\n");
-    t.print();
-    assert!(all_ok, "calibration drifted outside the paper's bands");
-    println!("\nall checks passed.");
+    ldsim_bench::figures::standalone_main("calibration");
 }

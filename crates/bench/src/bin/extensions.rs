@@ -6,53 +6,6 @@
 //! * **WG-S** (Section VIII, the paper's future work): WG-W that also
 //!   prioritises warp-groups whose lines are shared by multiple warps.
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, irregular_names, run_grid};
-use ldsim_system::table::{f3, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let kinds = [
-        SchedulerKind::Gmc,
-        SchedulerKind::AtlasLite,
-        SchedulerKind::WgW,
-        SchedulerKind::WgShared,
-    ];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "ATLAS/GMC", "WG-W/GMC", "WG-S/GMC"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
-        let mut row = vec![b.to_string()];
-        for (i, k) in [
-            SchedulerKind::AtlasLite,
-            SchedulerKind::WgW,
-            SchedulerKind::WgShared,
-        ]
-        .iter()
-        .enumerate()
-        {
-            let x = speedup(b, cell(&grid, b, *k).ipc(), base);
-            cols[i].push(x);
-            row.push(f3(x));
-        }
-        t.row(row);
-    }
-    t.row(vec![
-        "GMEAN".into(),
-        f3(geomean(&cols[0])),
-        f3(geomean(&cols[1])),
-        f3(geomean(&cols[2])),
-    ]);
-    println!("Extensions — ATLAS-lite (VI-C.3) and WG-S (Section VIII future work)\n");
-    t.print();
-    dump_json(
-        "extensions",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("extensions");
 }

@@ -4,35 +4,6 @@
 //! divergent after coalescing (paper: 56% on average) and the mean number
 //! of memory requests per load (paper: 5.9).
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{irregular_names, run_one};
-use ldsim_system::table::{f2, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let mut t = Table::new(&["benchmark", "divergent loads", "reqs/load"]);
-    let mut dfs = Vec::new();
-    let mut rpls = Vec::new();
-    let mut results = Vec::new();
-    for b in irregular_names() {
-        let r = run_one(b, scale, seed, SchedulerKind::Gmc);
-        dfs.push(r.divergent_frac());
-        rpls.push(r.avg_reqs_per_load);
-        t.row(vec![
-            b.to_string(),
-            pct(r.divergent_frac()),
-            f2(r.avg_reqs_per_load),
-        ]);
-        results.push(r);
-    }
-    t.row(vec![
-        "MEAN (paper: 56% / 5.9)".into(),
-        pct(mean(&dfs)),
-        f2(mean(&rpls)),
-    ]);
-    println!("Fig. 2 — coalescing efficiency (irregular suite, GMC baseline)\n");
-    t.print();
-    dump_json("fig02", scale, seed, &results.iter().collect::<Vec<_>>());
+    ldsim_bench::figures::standalone_main("fig02");
 }

@@ -5,45 +5,6 @@
 //! and the number of memory controllers a warp's load touches (paper: 2.5
 //! average; cfd/spmv/sssp/sp ~3.2, sad/nw/SS/bfs < 2).
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{irregular_names, run_one};
-use ldsim_system::table::{f2, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let mut t = Table::new(&[
-        "benchmark",
-        "last/first",
-        "controllers",
-        "banks",
-        "same-row",
-    ]);
-    let (mut ratios, mut chans, mut rows) = (Vec::new(), Vec::new(), Vec::new());
-    let mut results = Vec::new();
-    for b in irregular_names() {
-        let r = run_one(b, scale, seed, SchedulerKind::Gmc);
-        ratios.push(r.last_first_ratio);
-        chans.push(r.avg_channels_touched);
-        rows.push(r.same_row_frac);
-        t.row(vec![
-            b.to_string(),
-            f2(r.last_first_ratio),
-            f2(r.avg_channels_touched),
-            f2(r.avg_banks_touched),
-            f2(r.same_row_frac),
-        ]);
-        results.push(r);
-    }
-    t.row(vec![
-        "MEAN (paper: 1.6 / 2.5 / ~2 banks / 0.30)".into(),
-        f2(mean(&ratios)),
-        f2(mean(&chans)),
-        "-".into(),
-        f2(mean(&rows)),
-    ]);
-    println!("Fig. 3 — DRAM latency divergence under the GMC baseline\n");
-    t.print();
-    dump_json("fig03", scale, seed, &results.iter().collect::<Vec<_>>());
+    ldsim_bench::figures::standalone_main("fig03");
 }

@@ -5,36 +5,6 @@
 //! Divergence* (all of a warp's requests return right after the first;
 //! paper: +43%).
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{irregular_names, run_one, run_one_with};
-use ldsim_system::table::{f2, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let mut t = Table::new(&["benchmark", "PerfectCoalescing", "ZeroDivergence"]);
-    let (mut pcs, mut zds) = (Vec::new(), Vec::new());
-    let mut results = Vec::new();
-    for b in irregular_names() {
-        let base = run_one(b, scale, seed, SchedulerKind::Gmc);
-        let pc = run_one_with(b, scale, seed, SchedulerKind::Gmc, |c| {
-            c.perfect_coalescing = true;
-        });
-        let zd = run_one(b, scale, seed, SchedulerKind::ZeroDivergence);
-        let pcx = speedup(b, pc.ipc(), base.ipc());
-        let zdx = speedup(b, zd.ipc(), base.ipc());
-        pcs.push(pcx);
-        zds.push(zdx);
-        t.row(vec![b.to_string(), f2(pcx), f2(zdx)]);
-        results.extend([base, pc, zd]);
-    }
-    t.row(vec![
-        "GMEAN (paper: ~5x / 1.43x)".into(),
-        f2(geomean(&pcs)),
-        f2(geomean(&zds)),
-    ]);
-    println!("Fig. 4 — upper bounds: speedup over GMC\n");
-    t.print();
-    dump_json("fig04", scale, seed, &results.iter().collect::<Vec<_>>());
+    ldsim_bench::figures::standalone_main("fig04");
 }

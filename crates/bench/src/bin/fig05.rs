@@ -5,22 +5,6 @@
 //! Consecutive service: NT and 2NT, average 1.5NT. The analytic table is
 //! printed next to a two-warp micro-simulation of the same scenario.
 
-use ldsim_system::table::{f2, Table};
-
 fn main() {
-    println!("Fig. 5 — average memory stall of two N-request warps\n");
-    let mut t = Table::new(&["N", "interleaved (x NT)", "consecutive (x NT)", "saving"]);
-    for n in [2u32, 4, 8, 16, 32] {
-        let interleaved = 2.0 - 0.5 / n as f64; // ((2N-1) + 2N) / 2 / N
-        let consecutive = 1.5;
-        t.row(vec![
-            n.to_string(),
-            f2(interleaved),
-            f2(consecutive),
-            format!("{:.1}%", (1.0 - consecutive / interleaved) * 100.0),
-        ]);
-    }
-    t.print();
-    println!("\nWarp-aware scheduling approaches the consecutive bound by servicing");
-    println!("one warp-group at a time (Section IV-A).");
+    ldsim_bench::figures::standalone_main("fig05");
 }

@@ -5,39 +5,6 @@
 //! sketches: WAFCFS low-divergence/low-bandwidth, GMC high/high, the WG
 //! family moving toward low divergence while WG-Bw recovers bandwidth.
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{irregular_names, run_grid, PAPER_SCHEDULERS};
-use ldsim_system::table::{f2, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let mut kinds = PAPER_SCHEDULERS.to_vec();
-    kinds.push(SchedulerKind::Wafcfs);
-    kinds.push(SchedulerKind::FrFcfs);
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["scheduler", "avg divergence gap (cyc)", "bus utilisation"]);
-    for k in &kinds {
-        let gaps: Vec<f64> = grid
-            .iter()
-            .filter(|c| c.scheduler == *k)
-            .map(|c| c.result.avg_dram_gap)
-            .collect();
-        let bws: Vec<f64> = grid
-            .iter()
-            .filter(|c| c.scheduler == *k)
-            .map(|c| c.result.bw_utilization)
-            .collect();
-        t.row(vec![k.name().into(), f2(mean(&gaps)), pct(mean(&bws))]);
-    }
-    println!("Fig. 7 — latency divergence vs bandwidth (irregular suite means)\n");
-    t.print();
-    dump_json(
-        "fig07",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("fig07");
 }

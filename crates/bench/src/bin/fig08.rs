@@ -5,49 +5,6 @@
 //! +10.1%. (See EXPERIMENTS.md for the calibration discussion: this
 //! reproduction preserves the orderings with attenuated magnitudes.)
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, irregular_names, run_grid, PAPER_SCHEDULERS};
-use ldsim_system::table::{f3, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let grid = run_grid(&benches, PAPER_SCHEDULERS, scale, seed);
-    let mut t = Table::new(&["benchmark", "WG", "WG-M", "WG-Bw", "WG-W"]);
-    let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
-        let mut row = vec![b.to_string()];
-        for (i, k) in [
-            SchedulerKind::Wg,
-            SchedulerKind::WgM,
-            SchedulerKind::WgBw,
-            SchedulerKind::WgW,
-        ]
-        .iter()
-        .enumerate()
-        {
-            let x = speedup(b, cell(&grid, b, *k).ipc(), base);
-            per_sched[i].push(x);
-            row.push(f3(x));
-        }
-        t.row(row);
-    }
-    t.row(vec![
-        "GMEAN (paper: 1.034/1.062/1.084/1.101)".into(),
-        f3(geomean(&per_sched[0])),
-        f3(geomean(&per_sched[1])),
-        f3(geomean(&per_sched[2])),
-        f3(geomean(&per_sched[3])),
-    ]);
-    println!("Fig. 8 — IPC normalised to GMC (irregular suite)\n");
-    t.print();
-    dump_json(
-        "fig08",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("fig08");
 }

@@ -3,49 +3,6 @@
 //! Mean issue-to-last-response latency per scheduler, per benchmark.
 //! Paper: WG reduces it 9.1%, WG-M 16.9% (vs GMC).
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{cell, irregular_names, run_grid, PAPER_SCHEDULERS};
-use ldsim_system::table::{f2, Table};
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let grid = run_grid(&benches, PAPER_SCHEDULERS, scale, seed);
-    let mut t = Table::new(&["benchmark", "GMC", "WG", "WG-M", "WG-Bw", "WG-W"]);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for b in &benches {
-        let mut row = vec![b.to_string()];
-        for (i, k) in PAPER_SCHEDULERS.iter().enumerate() {
-            let v = cell(&grid, b, *k).avg_effective_latency;
-            sums[i].push(v);
-            row.push(f2(v));
-        }
-        t.row(row);
-    }
-    t.row(vec![
-        "MEAN (cycles)".into(),
-        f2(mean(&sums[0])),
-        f2(mean(&sums[1])),
-        f2(mean(&sums[2])),
-        f2(mean(&sums[3])),
-        f2(mean(&sums[4])),
-    ]);
-    let base = mean(&sums[0]);
-    println!("Fig. 9 — effective memory latency (cycles; paper: WG -9.1%, WG-M -16.9%)\n");
-    t.print();
-    println!();
-    for (i, k) in PAPER_SCHEDULERS.iter().enumerate().skip(1) {
-        println!(
-            "  {} vs GMC: {:+.1}%",
-            k.name(),
-            (mean(&sums[i]) / base - 1.0) * 100.0
-        );
-    }
-    dump_json(
-        "fig09",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("fig09");
 }

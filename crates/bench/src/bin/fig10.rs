@@ -5,42 +5,6 @@
 //! benchmarks that spread warps over many controllers (cfd, spmv, sssp,
 //! sp); WG suffices for sad, nw, SS, bfs.
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{cell, irregular_names, run_grid, PAPER_SCHEDULERS};
-use ldsim_system::table::{f2, Table};
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let grid = run_grid(&benches, PAPER_SCHEDULERS, scale, seed);
-    let mut t = Table::new(&["benchmark", "GMC", "WG", "WG-M", "WG-Bw", "WG-W", "ch/warp"]);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for b in &benches {
-        let mut row = vec![b.to_string()];
-        for (i, k) in PAPER_SCHEDULERS.iter().enumerate() {
-            let v = cell(&grid, b, *k).avg_dram_gap;
-            sums[i].push(v);
-            row.push(f2(v));
-        }
-        row.push(f2(cell(&grid, b, PAPER_SCHEDULERS[0]).avg_channels_touched));
-        t.row(row);
-    }
-    t.row(vec![
-        "MEAN".into(),
-        f2(mean(&sums[0])),
-        f2(mean(&sums[1])),
-        f2(mean(&sums[2])),
-        f2(mean(&sums[3])),
-        f2(mean(&sums[4])),
-        "-".into(),
-    ]);
-    println!("Fig. 10 — first-to-last DRAM service gap (cycles)\n");
-    t.print();
-    dump_json(
-        "fig10",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("fig10");
 }

@@ -4,40 +4,6 @@
 //! prioritisation (WG-M) costs bandwidth; the MERB policy (WG-Bw) recovers
 //! >14% of it by overlapping row-misses with row-hits in other banks.
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{cell, irregular_names, run_grid, PAPER_SCHEDULERS};
-use ldsim_system::table::{pct, Table};
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let grid = run_grid(&benches, PAPER_SCHEDULERS, scale, seed);
-    let mut t = Table::new(&["benchmark", "GMC", "WG", "WG-M", "WG-Bw", "WG-W"]);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for b in &benches {
-        let mut row = vec![b.to_string()];
-        for (i, k) in PAPER_SCHEDULERS.iter().enumerate() {
-            let v = cell(&grid, b, *k).bw_utilization;
-            sums[i].push(v);
-            row.push(pct(v));
-        }
-        t.row(row);
-    }
-    t.row(vec![
-        "MEAN".into(),
-        pct(mean(&sums[0])),
-        pct(mean(&sums[1])),
-        pct(mean(&sums[2])),
-        pct(mean(&sums[3])),
-        pct(mean(&sums[4])),
-    ]);
-    println!("Fig. 11 — DRAM data-bus utilisation\n");
-    t.print();
-    dump_json(
-        "fig11",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("fig11");
 }

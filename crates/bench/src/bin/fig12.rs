@@ -6,31 +6,6 @@
 //! the WG-W policy. Paper: nw and SS score high on both, which is where
 //! WG-W gains most.
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{irregular_names, run_one};
-use ldsim_system::table::{pct, Table};
-use ldsim_types::config::SchedulerKind;
-
 fn main() {
-    let (scale, seed) = cli();
-    let mut t = Table::new(&[
-        "benchmark",
-        "write intensity",
-        "stalled groups",
-        "unit+orphan frac",
-    ]);
-    let mut results = Vec::new();
-    for b in irregular_names() {
-        let r = run_one(b, scale, seed, SchedulerKind::WgBw);
-        t.row(vec![
-            b.to_string(),
-            pct(r.write_intensity),
-            r.drain_stalled_groups.to_string(),
-            pct(r.drain_unit_orphan_frac()),
-        ]);
-        results.push(r);
-    }
-    println!("Fig. 12 — write intensity and drain-stall composition (WG-Bw)\n");
-    t.print();
-    dump_json("fig12", scale, seed, &results.iter().collect::<Vec<_>>());
+    ldsim_bench::figures::standalone_main("fig12");
 }

@@ -5,52 +5,6 @@
 //! requests *across* threads per bank for fairness, the opposite of
 //! warp-group batching. This binary makes that comparison quantitative.
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, irregular_names, run_grid};
-use ldsim_system::table::{f2, f3, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let kinds = [SchedulerKind::Gmc, SchedulerKind::ParBs, SchedulerKind::WgW];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&[
-        "benchmark",
-        "PAR-BS / GMC",
-        "WG-W / PAR-BS",
-        "gap PAR-BS",
-        "gap WG-W",
-    ]);
-    let (mut pb, mut wg) = (vec![], vec![]);
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
-        let p = cell(&grid, b, SchedulerKind::ParBs);
-        let w = cell(&grid, b, SchedulerKind::WgW);
-        pb.push(speedup(b, p.ipc(), base));
-        wg.push(speedup(b, w.ipc(), p.ipc()));
-        t.row(vec![
-            b.to_string(),
-            f3(p.ipc() / base),
-            f3(w.ipc() / p.ipc()),
-            f2(p.avg_dram_gap),
-            f2(w.avg_dram_gap),
-        ]);
-    }
-    t.row(vec![
-        "GMEAN".into(),
-        f3(geomean(&pb)),
-        f3(geomean(&wg)),
-        "-".into(),
-        "-".into(),
-    ]);
-    println!("Section VI-C.3 (extension) — PAR-BS vs GMC and WG-W\n");
-    t.print();
-    dump_json(
-        "parbs",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("parbs");
 }

@@ -4,54 +4,6 @@
 //! irregular suite. Paper: WG-W's hit rate is 16% lower, but because the
 //! I/O drivers dominate GDDR5 power, total DRAM power rises only ~1.8%.
 
-use ldsim_bench::{cli, dump_json};
-use ldsim_system::runner::{cell, irregular_names, run_grid};
-use ldsim_system::table::{f2, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::mean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let kinds = [SchedulerKind::Gmc, SchedulerKind::WgW];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&[
-        "benchmark",
-        "hit rate GMC",
-        "hit rate WG-W",
-        "power GMC (W)",
-        "power WG-W (W)",
-    ]);
-    let (mut h0, mut h1, mut p0, mut p1) = (vec![], vec![], vec![], vec![]);
-    for b in &benches {
-        let a = cell(&grid, b, SchedulerKind::Gmc);
-        let w = cell(&grid, b, SchedulerKind::WgW);
-        h0.push(a.row_hit_rate);
-        h1.push(w.row_hit_rate);
-        p0.push(a.dram_power_w);
-        p1.push(w.dram_power_w);
-        t.row(vec![
-            b.to_string(),
-            pct(a.row_hit_rate),
-            pct(w.row_hit_rate),
-            f2(a.dram_power_w),
-            f2(w.dram_power_w),
-        ]);
-    }
-    println!("Section VI-B — row-hit rate and DRAM power, GMC vs WG-W\n");
-    t.print();
-    println!(
-        "\nmean hit-rate change: {:+.1}% relative (paper: -16%)",
-        (mean(&h1) / mean(&h0) - 1.0) * 100.0
-    );
-    println!(
-        "mean power change:    {:+.1}% (paper: +1.8%)",
-        (mean(&p1) / mean(&p0) - 1.0) * 100.0
-    );
-    dump_json(
-        "power",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("power");
 }

@@ -3,36 +3,6 @@
 //! The six regular, bandwidth-sensitive benchmarks under WG-W vs GMC.
 //! Paper: +1.8% on average, no application slowed down.
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, regular_names, run_grid};
-use ldsim_system::table::{f3, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = regular_names();
-    let kinds = [SchedulerKind::Gmc, SchedulerKind::WgW];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "WG-W / GMC", "GMC bus util"]);
-    let mut xs = Vec::new();
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc);
-        let x = speedup(b, cell(&grid, b, SchedulerKind::WgW).ipc(), base.ipc());
-        xs.push(x);
-        t.row(vec![b.to_string(), f3(x), pct(base.bw_utilization)]);
-    }
-    t.row(vec![
-        "GMEAN (paper: 1.018)".into(),
-        f3(geomean(&xs)),
-        "-".into(),
-    ]);
-    println!("Section VI-A — regular benchmarks: WG-W vs GMC\n");
-    t.print();
-    dump_json(
-        "regular",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("regular");
 }

@@ -1,0 +1,161 @@
+//! One-command full reproduction: run every figure and table of the paper
+//! through the global sweep orchestrator.
+//!
+//! All registered figure grids are deduped into one unique-cell work list,
+//! simulated in a single work-stealing pass, and rendered from the shared
+//! store — the same bytes every standalone figure binary writes, produced
+//! once. Completed cells persist in a content-addressed cache
+//! (`<out>/cellcache.jsonl`), so an interrupted run resumes where it died
+//! and a warm rerun re-renders everything without simulating at all.
+//!
+//! ```text
+//! repro [tiny|small|full] [--seed N] [--jobs N] [--only fig08,fig11]
+//!       [--out DIR] [--cold] [--resume] [--audit] [--trace]
+//! ```
+//!
+//! `--cold` deletes the cell cache first; `--resume` is the default warm
+//! behaviour, spelled out (kept as an explicit flag so crash-recovery
+//! runbooks read naturally). `--hist` is rejected: distribution histograms
+//! do not round-trip through the cache — use the `histreport` binary.
+
+use ldsim_bench::figures::registry;
+use ldsim_system::sweep::{run_sweep, SweepConfig, ENGINE_SALT};
+use ldsim_system::RunOpts;
+use ldsim_workloads::Scale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut seed = 1u64;
+    let mut opts = RunOpts::default();
+    let mut out = PathBuf::from("results");
+    let mut cold = false;
+    let mut only: Option<Vec<String>> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "tiny" => scale = Scale::Tiny,
+            "small" => scale = Scale::Small,
+            "full" => scale = Scale::Full,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a positive number");
+                ldsim_util::set_jobs(Some(n));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(
+                    args.get(i)
+                        .expect("--only needs a comma-separated figure list")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--cold" => cold = true,
+            "--resume" => {} // warm start is the default; the flag documents intent
+            "--audit" => opts.audit = true,
+            "--trace" => opts.trace = true,
+            "--hist" => panic!(
+                "--hist is not supported by repro: distribution histograms do not \
+                 round-trip through the cell cache — run the standalone \
+                 `histreport` binary instead"
+            ),
+            other => panic!(
+                "unknown argument '{other}' (expected tiny|small|full|--seed N|\
+                 --jobs N|--only a,b|--out DIR|--cold|--resume|--audit|--trace)"
+            ),
+        }
+        i += 1;
+    }
+    ldsim_system::set_run_opts(opts);
+
+    let mut specs = registry(scale, seed);
+    if let Some(names) = &only {
+        let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        for n in names {
+            assert!(
+                known.contains(&n.as_str()),
+                "--only: unknown figure '{n}' (known: {})",
+                known.join(", ")
+            );
+        }
+        specs.retain(|s| names.iter().any(|n| n == s.name));
+    }
+
+    let cache = out.join("cellcache.jsonl");
+    if cold {
+        match std::fs::remove_file(&cache) {
+            Ok(()) => println!("cold start: removed {}", cache.display()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("cannot remove {}: {e}", cache.display()),
+        }
+    }
+
+    // Hidden test hook: stop after N simulated cells to exercise
+    // crash-resume against the real binary (cache rows for completed cells
+    // are already on disk when we stop).
+    let max_simulated = std::env::var("LDSIM_REPRO_MAX_SIM")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+
+    let cells: Vec<_> = specs.iter().flat_map(|s| s.cells.iter().copied()).collect();
+    let cfg = SweepConfig {
+        cache_path: Some(&cache),
+        salt: ENGINE_SALT,
+        max_simulated,
+    };
+    println!(
+        "repro: {} figure(s) at {scale:?}, seed {seed}, {} worker(s), cache {}",
+        specs.len(),
+        ldsim_util::jobs(),
+        cache.display()
+    );
+    let t0 = Instant::now();
+    let (store, stats) = run_sweep(&cells, &cfg);
+    let sweep_s = t0.elapsed().as_secs_f64();
+    println!(
+        "sweep: {} declared -> {} unique; {} from cache, {} simulated \
+         ({} stale/foreign cache line(s) skipped) in {sweep_s:.2}s",
+        stats.declared, stats.unique, stats.from_cache, stats.simulated, stats.skipped_lines
+    );
+    if max_simulated.is_some() && stats.from_cache + stats.simulated < stats.unique {
+        println!(
+            "LDSIM_REPRO_MAX_SIM: stopping after {} simulated cell(s); \
+             rerun to resume from the cache",
+            stats.simulated
+        );
+        return;
+    }
+
+    let t1 = Instant::now();
+    for spec in &specs {
+        println!("\n----- {} -----\n", spec.name);
+        (spec.render)(&store, &out);
+    }
+    let render_s = t1.elapsed().as_secs_f64();
+    println!(
+        "\nrepro complete: sweep {sweep_s:.2}s + render {render_s:.2}s = {:.2}s total \
+         ({} simulated, {} cached)",
+        sweep_s + render_s,
+        stats.simulated,
+        stats.from_cache
+    );
+}

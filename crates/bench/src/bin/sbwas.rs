@@ -4,57 +4,6 @@
 //! (best IPC wins, as in the paper) and the best-alpha IPC is compared with
 //! GMC and WG-W. Paper: SBWAS +2.51% over GMC; WG-W +7.3% over SBWAS.
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, irregular_names, run_grid};
-use ldsim_system::table::{f3, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let kinds = [
-        SchedulerKind::Gmc,
-        SchedulerKind::Sbwas { alpha_q: 1 },
-        SchedulerKind::Sbwas { alpha_q: 2 },
-        SchedulerKind::Sbwas { alpha_q: 3 },
-        SchedulerKind::WgW,
-    ];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&["benchmark", "best alpha", "SBWAS/GMC", "WG-W/SBWAS"]);
-    let (mut sb, mut wg) = (vec![], vec![]);
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc).ipc();
-        let (mut best, mut best_a) = (0.0f64, 0u8);
-        for a in 1..=3u8 {
-            let ipc = cell(&grid, b, SchedulerKind::Sbwas { alpha_q: a }).ipc();
-            if ipc > best {
-                best = ipc;
-                best_a = a;
-            }
-        }
-        let wgw = cell(&grid, b, SchedulerKind::WgW).ipc();
-        sb.push(speedup(b, best, base));
-        wg.push(speedup(b, wgw, best));
-        t.row(vec![
-            b.to_string(),
-            format!("0.{}", best_a as u32 * 25),
-            f3(best / base),
-            f3(wgw / best),
-        ]);
-    }
-    t.row(vec![
-        "GMEAN (paper: - / 1.025 / 1.073)".into(),
-        "-".into(),
-        f3(geomean(&sb)),
-        f3(geomean(&wg)),
-    ]);
-    println!("Section VI-C.1 — SBWAS with profiled alpha vs GMC and WG-W\n");
-    t.print();
-    dump_json(
-        "sbwas",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("sbwas");
 }

@@ -4,35 +4,6 @@
 //! Section IV-D formula; the paper's values are {1:31, 2:20, 3:10, 4:7,
 //! 5:5, 6-16:5}.
 
-use ldsim_gddr5::merb::single_bank_utilization;
-use ldsim_gddr5::MerbTable;
-use ldsim_system::table::{pct, Table};
-use ldsim_types::clock::ClockDomain;
-use ldsim_types::config::TimingParams;
-
 fn main() {
-    let timing = TimingParams::default();
-    let merb = MerbTable::from_timing(&timing, ClockDomain::GDDR5, 16);
-    let paper = [31u8, 20, 10, 7, 5, 5];
-    let mut t = Table::new(&["banks with work", "MERB (ours)", "MERB (paper)"]);
-    for b in 1..=16usize {
-        let p = paper[(b - 1).min(5)];
-        t.row(vec![
-            if b <= 5 {
-                b.to_string()
-            } else {
-                format!("{b} (6-16)")
-            },
-            merb.get(b).to_string(),
-            p.to_string(),
-        ]);
-        assert_eq!(merb.get(b), p, "Table I mismatch at b={b}");
-    }
-    println!("Table I — Minimum Efficient Row Burst for GDDR5\n");
-    t.print();
-    println!(
-        "\nsingle-bank utilisation at the 31-burst cap: {} (paper: ~62%)",
-        pct(single_bank_utilization(&timing, ClockDomain::GDDR5, 31))
-    );
-    println!("all 16 entries match the paper exactly.");
+    ldsim_bench::figures::standalone_main("table1");
 }

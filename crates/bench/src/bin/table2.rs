@@ -1,102 +1,5 @@
 //! Table II — the simulated system configuration.
 
-use ldsim_system::table::Table;
-use ldsim_types::config::SimConfig;
-
 fn main() {
-    let c = SimConfig::default();
-    let t_cyc = c.mem.timing.in_cycles(c.clock);
-    let mut t = Table::new(&["parameter", "value"]);
-    let rows: Vec<(&str, String)> = vec![
-        ("compute units (SMs)", c.gpu.num_sms.to_string()),
-        ("warp size", c.gpu.warp_size.to_string()),
-        (
-            "L1 / SM",
-            format!(
-                "{} KB, {}-way, {} B lines",
-                c.gpu.l1.size_bytes / 1024,
-                c.gpu.l1.ways,
-                c.gpu.l1.line_bytes
-            ),
-        ),
-        (
-            "L2 / partition",
-            format!(
-                "{} KB, {}-way, {} B lines",
-                c.gpu.l2_slice.size_bytes / 1024,
-                c.gpu.l2_slice.ways,
-                c.gpu.l2_slice.line_bytes
-            ),
-        ),
-        ("DRAM channels", c.mem.num_channels.to_string()),
-        (
-            "banks/channel (groups)",
-            format!(
-                "{} ({} per group)",
-                c.mem.banks_per_channel, c.mem.banks_per_group
-            ),
-        ),
-        ("read queue / controller", c.mem.read_queue.to_string()),
-        (
-            "write queue (hi/lo)",
-            format!(
-                "{} ({}/{})",
-                c.mem.write_queue, c.mem.write_hi, c.mem.write_lo
-            ),
-        ),
-        ("tCK", format!("{} ns", c.clock.tck_ns)),
-        (
-            "tRC",
-            format!("{} ns ({} cyc)", c.mem.timing.t_rc_ns, t_cyc.t_rc),
-        ),
-        (
-            "tRCD",
-            format!("{} ns ({} cyc)", c.mem.timing.t_rcd_ns, t_cyc.t_rcd),
-        ),
-        (
-            "tRP",
-            format!("{} ns ({} cyc)", c.mem.timing.t_rp_ns, t_cyc.t_rp),
-        ),
-        (
-            "tCAS",
-            format!("{} ns ({} cyc)", c.mem.timing.t_cas_ns, t_cyc.t_cas),
-        ),
-        (
-            "tRAS",
-            format!("{} ns ({} cyc)", c.mem.timing.t_ras_ns, t_cyc.t_ras),
-        ),
-        (
-            "tRRD",
-            format!("{} ns ({} cyc)", c.mem.timing.t_rrd_ns, t_cyc.t_rrd),
-        ),
-        (
-            "tWTR",
-            format!("{} ns ({} cyc)", c.mem.timing.t_wtr_ns, t_cyc.t_wtr),
-        ),
-        (
-            "tFAW",
-            format!("{} ns ({} cyc)", c.mem.timing.t_faw_ns, t_cyc.t_faw),
-        ),
-        (
-            "tRTP",
-            format!("{} ns ({} cyc)", c.mem.timing.t_rtp_ns, t_cyc.t_rtp),
-        ),
-        (
-            "tWL / tBURST / tRTRS",
-            format!("{} / {} / {} tCK", t_cyc.t_wl, t_cyc.t_burst, t_cyc.t_rtrs),
-        ),
-        (
-            "tCCDL / tCCDS",
-            format!("{} / {} tCK", t_cyc.t_ccdl, t_cyc.t_ccds),
-        ),
-        (
-            "bursts per 128B access",
-            c.mem.bursts_per_access.to_string(),
-        ),
-    ];
-    for (k, v) in rows {
-        t.row(vec![k.into(), v]);
-    }
-    println!("Table II — simulation parameters (defaults)\n");
-    t.print();
+    ldsim_bench::figures::standalone_main("table2");
 }

@@ -1,31 +1,5 @@
 //! Table III — the workload registry.
 
-use ldsim_system::table::Table;
-use ldsim_workloads::{IRREGULAR, REGULAR};
-
 fn main() {
-    let mut t = Table::new(&[
-        "benchmark",
-        "suite",
-        "class",
-        "div frac",
-        "clusters",
-        "writes",
-    ]);
-    for p in IRREGULAR.iter().chain(REGULAR.iter()) {
-        t.row(vec![
-            p.name.into(),
-            p.suite.into(),
-            if p.irregular {
-                "irregular".into()
-            } else {
-                "regular".into()
-            },
-            format!("{:.2}", p.divergent_frac),
-            format!("{:.1}", p.clusters_mean),
-            format!("{:.2}", p.write_frac),
-        ]);
-    }
-    println!("Table III — modelled workloads (see DESIGN.md substitution #2)\n");
-    t.print();
+    ldsim_bench::figures::standalone_main("table3");
 }

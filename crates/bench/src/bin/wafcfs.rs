@@ -4,47 +4,6 @@
 //! measures an 11.2% slowdown: in-order warp-group service achieves almost
 //! no row hits on irregular access patterns.
 
-use ldsim_bench::{cli, dump_json, speedup};
-use ldsim_system::runner::{cell, irregular_names, run_grid};
-use ldsim_system::table::{f3, pct, Table};
-use ldsim_types::config::SchedulerKind;
-use ldsim_types::stats::geomean;
-
 fn main() {
-    let (scale, seed) = cli();
-    let benches = irregular_names();
-    let kinds = [SchedulerKind::Gmc, SchedulerKind::Wafcfs];
-    let grid = run_grid(&benches, &kinds, scale, seed);
-    let mut t = Table::new(&[
-        "benchmark",
-        "WAFCFS / GMC",
-        "hit rate GMC",
-        "hit rate WAFCFS",
-    ]);
-    let mut xs = Vec::new();
-    for b in &benches {
-        let base = cell(&grid, b, SchedulerKind::Gmc);
-        let w = cell(&grid, b, SchedulerKind::Wafcfs);
-        xs.push(speedup(b, w.ipc(), base.ipc()));
-        t.row(vec![
-            b.to_string(),
-            f3(w.ipc() / base.ipc()),
-            pct(base.row_hit_rate),
-            pct(w.row_hit_rate),
-        ]);
-    }
-    t.row(vec![
-        "GMEAN (paper: 0.888)".into(),
-        f3(geomean(&xs)),
-        "-".into(),
-        "-".into(),
-    ]);
-    println!("Section VI-C.2 — WAFCFS vs GMC\n");
-    t.print();
-    dump_json(
-        "wafcfs",
-        scale,
-        seed,
-        &grid.iter().map(|c| &c.result).collect::<Vec<_>>(),
-    );
+    ldsim_bench::figures::standalone_main("wafcfs");
 }

@@ -12,14 +12,17 @@
 //! provenance. When histograms are armed, the full bucket arrays go to a
 //! companion `results/<figure>.hist.jsonl`.
 
+pub mod figures;
+
 use ldsim_system::{RunOpts, RunResult};
 use ldsim_util::json::JsonObject;
 use ldsim_workloads::Scale;
 use std::io::Write;
 
-/// Parse `[tiny|small|full]`, `--seed N`, `--audit`, `--trace`, and
-/// `--hist` from argv. The switches are applied process-wide via
-/// [`ldsim_system::set_run_opts`] before returning.
+/// Parse `[tiny|small|full]`, `--seed N`, `--jobs N`, `--audit`, `--trace`,
+/// and `--hist` from argv. The switches are applied process-wide (run
+/// options via [`ldsim_system::set_run_opts`], worker count via
+/// [`ldsim_util::set_jobs`]) before returning.
 pub fn cli() -> (Scale, u64) {
     let mut scale = Scale::Small;
     let mut seed = 1u64;
@@ -38,12 +41,20 @@ pub fn cli() -> (Scale, u64) {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a positive number");
+                ldsim_util::set_jobs(Some(n));
+            }
             "--audit" => opts.audit = true,
             "--trace" => opts.trace = true,
             "--hist" => opts.hist = true,
             other => panic!(
                 "unknown argument '{other}' \
-                 (expected tiny|small|full|--seed N|--audit|--trace|--hist)"
+                 (expected tiny|small|full|--seed N|--jobs N|--audit|--trace|--hist)"
             ),
         }
         i += 1;

@@ -25,6 +25,7 @@ pub mod partition;
 mod partition_tests;
 pub mod runner;
 pub mod sim;
+pub mod sweep;
 pub mod table;
 pub mod trace;
 
@@ -32,5 +33,9 @@ pub use diff::{differential_check, DiffCell, DiffReport};
 pub use metrics::{RunHists, RunResult};
 pub use runner::{run_grid, run_one, run_opts, set_run_opts, GridCell, RunOpts};
 pub use sim::Simulator;
+pub use sweep::{
+    config_fingerprint, run_sweep, Cell, CellStore, CfgTweak, FigureSpec, SweepConfig, SweepStats,
+    ENGINE_SALT,
+};
 pub use table::Table;
 pub use trace::{Trace, WgEvent, WgStage};

@@ -260,6 +260,86 @@ impl RunResult {
             .opt_u64("trace_hash", self.trace_hash)
             .build()
     }
+
+    /// Parse a flat JSON row produced by [`Self::to_json`] back into a
+    /// `RunResult` — the load half of the sweep orchestrator's cell cache.
+    ///
+    /// Exact by construction: integers never round through `f64`, and
+    /// floats re-parse to the identical bit pattern (shortest-roundtrip
+    /// formatting), so `from_json(to_json(r)).to_json() == to_json(r)`
+    /// byte-for-byte. Extra fields (the cache's key/engine metadata, the
+    /// derived `ipc`) are ignored; a *missing* field is an error — a cache
+    /// row from an older schema must be treated as absent, not zero-filled.
+    /// `hists` do not round-trip (`None` after parsing): cached cells are
+    /// unarmed by contract (the orchestrator refuses to cache armed runs).
+    pub fn from_json(row: &str) -> Result<RunResult, String> {
+        let p = ldsim_util::parse_object(row)?;
+        let counters = p
+            .get("policy_counters")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| "missing or non-array field 'policy_counters'".to_string())?;
+        if counters.len() != 4 {
+            return Err(format!("policy_counters has {} entries", counters.len()));
+        }
+        let mut policy_counters = [0u64; 4];
+        for (dst, v) in policy_counters.iter_mut().zip(counters) {
+            *dst = v
+                .as_u64()
+                .ok_or_else(|| "non-u64 entry in 'policy_counters'".to_string())?;
+        }
+        let trace_hash = match p.get("trace_hash") {
+            Some(ldsim_util::JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "non-u64 field 'trace_hash'".to_string())?,
+            ),
+            None => return Err("missing field 'trace_hash'".into()),
+        };
+        Ok(RunResult {
+            benchmark: p.req_str("benchmark")?.to_string(),
+            scheduler: p.req_str("scheduler")?.to_string(),
+            finished: p.req_bool("finished")?,
+            cycles: p.req_u64("cycles")?,
+            instructions: p.req_u64("instructions")?,
+            loads: p.req_u64("loads")?,
+            divergent_loads: p.req_u64("divergent_loads")?,
+            avg_reqs_per_load: p.req_f64("avg_reqs_per_load")?,
+            avg_dram_gap: p.req_f64("avg_dram_gap")?,
+            last_first_ratio: p.req_f64("last_first_ratio")?,
+            avg_channels_touched: p.req_f64("avg_channels_touched")?,
+            avg_banks_touched: p.req_f64("avg_banks_touched")?,
+            same_row_frac: p.req_f64("same_row_frac")?,
+            avg_effective_latency: p.req_f64("avg_effective_latency")?,
+            gap_p50: p.req_u64("gap_p50")?,
+            gap_p90: p.req_u64("gap_p90")?,
+            gap_p99: p.req_u64("gap_p99")?,
+            eff_p50: p.req_u64("eff_p50")?,
+            eff_p90: p.req_u64("eff_p90")?,
+            eff_p99: p.req_u64("eff_p99")?,
+            bw_utilization: p.req_f64("bw_utilization")?,
+            row_hit_rate: p.req_f64("row_hit_rate")?,
+            dram_power_w: p.req_f64("dram_power_w")?,
+            write_intensity: p.req_f64("write_intensity")?,
+            drains: p.req_u64("drains")?,
+            drain_stalled_groups: p.req_u64("drain_stalled_groups")?,
+            drain_stalled_unit: p.req_u64("drain_stalled_unit")?,
+            drain_stalled_orphan: p.req_u64("drain_stalled_orphan")?,
+            l1_hit_rate: p.req_f64("l1_hit_rate")?,
+            l2_hit_rate: p.req_f64("l2_hit_rate")?,
+            dram_reads: p.req_u64("dram_reads")?,
+            dram_writes: p.req_u64("dram_writes")?,
+            sm_port_busy_frac: p.req_f64("sm_port_busy_frac")?,
+            sm_mem_idle_frac: p.req_f64("sm_mem_idle_frac")?,
+            policy_counters,
+            audit_commands: p.req_u64("audit_commands")?,
+            audit_violations: p.req_u64("audit_violations")?,
+            mem_read_requests: p.req_u64("mem_read_requests")?,
+            mem_read_responses: p.req_u64("mem_read_responses")?,
+            dropped_requests: p.req_u64("dropped_requests")?,
+            trace_hash,
+            hists: None,
+        })
+    }
 }
 
 /// Aggregate per-load records into the divergence metrics.
@@ -538,6 +618,45 @@ mod tests {
         assert!(j.contains(&format!("\"trace_hash\":{}", 0xDEAD)));
         let off = RunResult::default().to_json();
         assert!(off.contains("\"trace_hash\":null"));
+    }
+
+    #[test]
+    fn from_json_round_trips_byte_exactly() {
+        let r = RunResult {
+            benchmark: "spmv".into(),
+            scheduler: "WG-W".into(),
+            finished: true,
+            cycles: 123_456_789,
+            instructions: 4000,
+            avg_reqs_per_load: 0.1 + 0.2, // not exactly representable
+            avg_dram_gap: 317.123456789,
+            policy_counters: [1, 2, 3, u64::MAX],
+            trace_hash: Some(0xcbf2_9ce4_8422_2325), // > 2^53: f64 would corrupt it
+            ..Default::default()
+        };
+        let j = r.to_json();
+        let back = RunResult::from_json(&j).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), j, "re-serialisation must be byte-exact");
+        // Extra fields (cache metadata, provenance stamps) are ignored.
+        let stamped = format!("{{\"figure\":\"figX\",{}", &j[1..]);
+        assert_eq!(RunResult::from_json(&stamped).unwrap(), r);
+        // None trace hash round-trips too.
+        let none = RunResult::default();
+        assert_eq!(
+            RunResult::from_json(&none.to_json()).unwrap().to_json(),
+            none.to_json()
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields_and_garbage() {
+        let j = RunResult::default().to_json();
+        let truncated = &j[..j.len() / 2];
+        assert!(RunResult::from_json(truncated).is_err());
+        assert!(RunResult::from_json("{}").unwrap_err().contains('\''));
+        let wrong = j.replace("\"cycles\":0", "\"cycles\":\"zero\"");
+        assert!(RunResult::from_json(&wrong).unwrap_err().contains("cycles"));
     }
 
     #[test]

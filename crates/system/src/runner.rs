@@ -60,6 +60,15 @@ pub fn run_opts() -> RunOpts {
     RunOpts::from_bits(RUN_OPTS.load(Ordering::Relaxed))
 }
 
+/// Serialise tests that mutate the process-wide [`RunOpts`] — the unit
+/// tests of this crate run concurrently in one process, so any test that
+/// calls [`set_run_opts`] must hold this lock for its whole body.
+#[cfg(test)]
+pub(crate) fn test_opts_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Run one benchmark under one scheduler, using the paper's fixed
 /// instruction budget methodology (Section V): the run stops at 70% of the
 /// kernel's total instructions (or completion), so throughput — not the
@@ -82,9 +91,10 @@ pub fn run_one_with(
     run_one_kernel(&kernel, bench, scale, seed, kind, tweak)
 }
 
-/// [`run_one_with`] on an already-generated kernel, so a grid can share one
-/// generation per benchmark across scheduler cells.
-fn run_one_kernel(
+/// [`run_one_with`] on an already-generated kernel, so a grid (or the
+/// global sweep orchestrator) can share one generation per benchmark
+/// across scheduler cells.
+pub(crate) fn run_one_kernel(
     kernel: &KernelProgram,
     bench: &str,
     scale: Scale,
@@ -263,6 +273,7 @@ mod tests {
         // Regression: the old OnceLock store was first-call-wins, so a test
         // (or bench binary) arming trace after any earlier run silently kept
         // the stale options.
+        let _guard = test_opts_lock();
         set_run_opts(RunOpts {
             audit: false,
             trace: true,

@@ -1,0 +1,763 @@
+//! The global sweep orchestrator: one pass over every figure's cells, with
+//! a content-addressed result cache.
+//!
+//! The paper's evidence is a dozen figures and tables built from heavily
+//! overlapping (benchmark × scheduler × scale × seed × config) grids.
+//! Running each figure binary independently re-simulates the shared cells
+//! once per figure and regenerates every kernel per run. This module turns
+//! the whole reproduction into one job:
+//!
+//! 1. every figure/table declares its grid as a data-only [`FigureSpec`]
+//!    (a list of [`Cell`]s plus a render closure over a shared
+//!    [`CellStore`]);
+//! 2. [`run_sweep`] dedupes cells *globally across figures* by
+//!    content-addressed key, consults the crash-safe cache, generates each
+//!    distinct kernel once, and runs the remaining unique cells through one
+//!    work-stealing [`parallel_map`] pass;
+//! 3. each figure renders from the shared store — identical bytes to its
+//!    standalone binary, because the render code *is* the binary's body.
+//!
+//! ## Cell-key contract
+//!
+//! A cell's key is FNV-1a over the [`ENGINE_SALT`], the benchmark name,
+//! scale, seed, and the *fingerprint of the fully-resolved* [`SimConfig`]
+//! (scheduler, run options, and [`CfgTweak`] applied). Two cells with the
+//! same key are the same simulation by construction — a tweak that resolves
+//! to the default config (e.g. `GmcMaxStreak(16)`) dedupes against the
+//! untweaked cell, which is correct: the config *is* the semantics. The
+//! only knob excluded from the fingerprint is `instruction_limit`, which
+//! the runner derives deterministically from (benchmark, scale, seed) —
+//! already part of the key. [`CfgTweak`] is a closed enum (not a closure)
+//! precisely so no tweak can sneak an unhashed knob past the key.
+//!
+//! ## Cache & resume semantics
+//!
+//! Completed cells append one self-describing JSONL row to the cache file
+//! as they finish (single `write` per row, so a crash leaves at most one
+//! torn final line, which the loader skips). Rows are trusted only if their
+//! engine salt matches [`ENGINE_SALT`] *and* their key re-derives from a
+//! currently-requested cell — stale entries self-invalidate and simply get
+//! re-simulated. Re-running after a crash therefore resumes exactly where
+//! the sweep died, and a fully-warm run renders every figure without
+//! simulating at all.
+
+use crate::metrics::RunResult;
+use crate::runner::{run_one_kernel, run_opts, RunOpts};
+use ldsim_types::config::{PagePolicy, SchedulerKind, SimConfig};
+use ldsim_types::kernel::KernelProgram;
+use ldsim_util::{parallel_map, Fnv64, FnvHashMap};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Engine-version salt folded into every cell key. Bump it whenever a
+/// change alters simulation *results* (scheduler behaviour, timing, metric
+/// definitions, workload generation) so every cached cell self-invalidates;
+/// leave it alone for pure orchestration/rendering changes. The bit-exact
+/// test ladders (fastforward, reference_picks, determinism) are the
+/// reviewers' guide: if they needed re-blessing, bump the salt.
+pub const ENGINE_SALT: &str = "ldsim-engine-2026-08-07";
+
+/// A data-only configuration variation — everything the figure/ablation
+/// grids tweak beyond the scheduler. Closed enum, not a closure: the sweep
+/// must be able to *hash* a cell's full configuration, and an arbitrary
+/// `Fn(&mut SimConfig)` cannot be content-addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfgTweak {
+    /// The figure grids' common case: scheduler only, defaults otherwise.
+    None,
+    /// Fig. 4's ideal coalescer (one request per load).
+    PerfectCoalescing,
+    /// Ablation 1: WG-M coordination-network hop latency.
+    CoordLatency(u64),
+    /// Ablation 2: write-drain watermarks.
+    WriteWatermarks { hi: usize, lo: usize },
+    /// Ablation 3: flat tCCD (no bank groups) — tCCDS raised to tCCDL.
+    FlatCcd,
+    /// Ablation 4: periodic refresh disabled.
+    RefreshOff,
+    /// Ablation 4: closed-page (auto-precharge) row management.
+    ClosedPage,
+    /// Ablation 5: GMC row-hit streak cap.
+    GmcMaxStreak(usize),
+}
+
+impl CfgTweak {
+    /// Apply this variation to a config (scheduler already set).
+    pub fn apply(&self, cfg: &mut SimConfig) {
+        match *self {
+            CfgTweak::None => {}
+            CfgTweak::PerfectCoalescing => cfg.perfect_coalescing = true,
+            CfgTweak::CoordLatency(lat) => cfg.mem.coord_latency = lat,
+            CfgTweak::WriteWatermarks { hi, lo } => {
+                cfg.mem.write_hi = hi;
+                cfg.mem.write_lo = lo;
+            }
+            CfgTweak::FlatCcd => cfg.mem.timing.t_ccds_ck = cfg.mem.timing.t_ccdl_ck,
+            CfgTweak::RefreshOff => cfg.mem.refresh_enabled = false,
+            CfgTweak::ClosedPage => cfg.mem.page_policy = PagePolicy::Closed,
+            CfgTweak::GmcMaxStreak(n) => cfg.mem.gmc_max_streak = n,
+        }
+    }
+}
+
+/// One (benchmark × scheduler × scale × seed × tweak) simulation, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    pub bench: &'static str,
+    pub scale: ldsim_workloads::Scale,
+    pub seed: u64,
+    pub kind: SchedulerKind,
+    pub tweak: CfgTweak,
+}
+
+impl Cell {
+    /// An untweaked cell — the overwhelmingly common case.
+    pub fn new(
+        bench: &'static str,
+        scale: ldsim_workloads::Scale,
+        seed: u64,
+        kind: SchedulerKind,
+    ) -> Self {
+        Self {
+            bench,
+            scale,
+            seed,
+            kind,
+            tweak: CfgTweak::None,
+        }
+    }
+
+    pub fn with_tweak(mut self, tweak: CfgTweak) -> Self {
+        self.tweak = tweak;
+        self
+    }
+
+    /// The fully-resolved configuration this cell runs under, minus the
+    /// kernel-derived `instruction_limit`. Mirrors the runner's resolution
+    /// order exactly: defaults → scheduler → run options → tweak.
+    pub fn config(&self, opts: RunOpts) -> SimConfig {
+        let mut cfg = SimConfig::default().with_scheduler(self.kind);
+        cfg.audit = opts.audit;
+        cfg.trace = opts.trace;
+        cfg.hist = opts.hist;
+        self.tweak.apply(&mut cfg);
+        cfg
+    }
+
+    /// Content-addressed cache key: FNV-1a over the engine salt, the
+    /// workload coordinates, and the resolved-config fingerprint.
+    pub fn key(&self, opts: RunOpts) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(ENGINE_SALT.as_bytes());
+        h.write(self.bench.as_bytes());
+        h.write_u8(scale_ord(self.scale));
+        h.write_u64(self.seed);
+        h.write_u64(config_fingerprint(&self.config(opts)));
+        h.finish()
+    }
+}
+
+fn scale_ord(s: ldsim_workloads::Scale) -> u8 {
+    match s {
+        ldsim_workloads::Scale::Tiny => 0,
+        ldsim_workloads::Scale::Small => 1,
+        ldsim_workloads::Scale::Full => 2,
+    }
+}
+
+/// Stable FNV-1a digest over every [`SimConfig`] knob (except the
+/// kernel-derived `instruction_limit` — see the module docs). Any default
+/// change, tweak, or scheduler switch changes the fingerprint, so cached
+/// cells keyed on it self-invalidate.
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut h = Fnv64::new();
+    // GPU side.
+    let g = &cfg.gpu;
+    h.write_u64(g.num_sms as u64)
+        .write_u64(g.warp_size as u64)
+        .write_u64(g.max_warps_per_sm as u64)
+        .write_u64(g.xbar_latency)
+        .write_u64(g.xbar_queue as u64);
+    for c in [&g.l1, &g.l2_slice] {
+        h.write_u64(c.size_bytes as u64)
+            .write_u64(c.line_bytes as u64)
+            .write_u64(c.ways as u64)
+            .write_u64(c.mshr_entries as u64)
+            .write_u64(c.latency);
+    }
+    // Memory side.
+    let m = &cfg.mem;
+    h.write_u64(m.num_channels as u64)
+        .write_u64(m.banks_per_channel as u64)
+        .write_u64(m.banks_per_group as u64)
+        .write_u64(m.row_bytes as u64)
+        .write_u64(m.read_queue as u64)
+        .write_u64(m.write_queue as u64)
+        .write_u64(m.write_hi as u64)
+        .write_u64(m.write_lo as u64)
+        .write_u64(m.coord_latency)
+        .write_u64(m.gmc_max_streak as u64)
+        .write_u64(m.gmc_age_threshold)
+        .write_u64(m.wgw_margin as u64)
+        .write_u64(m.bursts_per_access)
+        .write_u8(match m.page_policy {
+            PagePolicy::Open => 0,
+            PagePolicy::Closed => 1,
+        })
+        .write_u8(m.refresh_enabled as u8)
+        .write_u8(m.reference_picks as u8);
+    let t = &m.timing;
+    for ns in [
+        t.t_rc_ns,
+        t.t_rcd_ns,
+        t.t_rp_ns,
+        t.t_cas_ns,
+        t.t_ras_ns,
+        t.t_rrd_ns,
+        t.t_wtr_ns,
+        t.t_faw_ns,
+        t.t_rtp_ns,
+        t.t_wr_ns,
+        t.t_refi_ns,
+        t.t_rfc_ns,
+    ] {
+        h.write_f64(ns);
+    }
+    for ck in [
+        t.t_wl_ck,
+        t.t_burst_ck,
+        t.t_rtrs_ck,
+        t.t_ccdl_ck,
+        t.t_ccds_ck,
+    ] {
+        h.write_u64(ck);
+    }
+    // Top level.
+    let (sched, alpha) = match cfg.scheduler {
+        SchedulerKind::Fcfs => (0u8, 0u8),
+        SchedulerKind::FrFcfs => (1, 0),
+        SchedulerKind::Gmc => (2, 0),
+        SchedulerKind::Wafcfs => (3, 0),
+        SchedulerKind::Sbwas { alpha_q } => (4, alpha_q),
+        SchedulerKind::Wg => (5, 0),
+        SchedulerKind::WgM => (6, 0),
+        SchedulerKind::WgBw => (7, 0),
+        SchedulerKind::WgW => (8, 0),
+        SchedulerKind::ZeroDivergence => (9, 0),
+        SchedulerKind::ParBs => (10, 0),
+        SchedulerKind::AtlasLite => (11, 0),
+        SchedulerKind::WgShared => (12, 0),
+    };
+    h.write_u8(sched)
+        .write_u8(alpha)
+        .write_u8(cfg.perfect_coalescing as u8)
+        .write_u64(cfg.max_cycles)
+        .write_f64(cfg.clock.tck_ns)
+        .write_u8(cfg.audit as u8)
+        .write_u8(cfg.trace as u8)
+        .write_u8(cfg.fast_forward as u8)
+        .write_u8(cfg.hist as u8);
+    h.finish()
+}
+
+/// The shared result store every figure renders from: cell key →
+/// [`RunResult`], under the run options the sweep was planned with.
+#[derive(Debug)]
+pub struct CellStore {
+    opts: RunOpts,
+    map: FnvHashMap<u64, RunResult>,
+}
+
+impl CellStore {
+    pub fn new(opts: RunOpts) -> Self {
+        Self {
+            opts,
+            map: FnvHashMap::default(),
+        }
+    }
+
+    pub fn insert(&mut self, cell: &Cell, result: RunResult) {
+        self.map.insert(cell.key(self.opts), result);
+    }
+
+    pub fn contains(&self, cell: &Cell) -> bool {
+        self.map.contains_key(&cell.key(self.opts))
+    }
+
+    /// Fetch a cell's result; panics naming the cell if it was never
+    /// declared — a figure reading a cell outside its spec is a bug, not a
+    /// recoverable condition.
+    pub fn get(&self, cell: &Cell) -> &RunResult {
+        self.map.get(&cell.key(self.opts)).unwrap_or_else(|| {
+            panic!(
+                "cell not in store: {}/{:?} scale {:?} seed {} tweak {:?} — \
+                 was it declared in the figure's spec?",
+                cell.bench, cell.kind, cell.scale, cell.seed, cell.tweak
+            )
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One figure or table: its simulation grid as data, plus the render step
+/// that turns shared-store cells into the binary's exact stdout and
+/// `results/<name>.jsonl` bytes. `render` receives the store and the
+/// results directory to write into.
+pub struct FigureSpec {
+    pub name: &'static str,
+    pub cells: Vec<Cell>,
+    #[allow(clippy::type_complexity)]
+    pub render: Box<dyn Fn(&CellStore, &Path) + Send + Sync>,
+}
+
+/// How a sweep executes: where the cache lives, which salt validates it,
+/// and the test-only crash injection.
+pub struct SweepConfig<'a> {
+    /// Cache file (`cellcache.jsonl`); `None` disables caching (the
+    /// standalone figure binaries, which must behave exactly as before).
+    pub cache_path: Option<&'a Path>,
+    /// Salt cached rows must carry. Production always passes
+    /// [`ENGINE_SALT`]; tests pass a different salt to prove invalidation.
+    pub salt: &'a str,
+    /// Stop after simulating this many cells (cache rows for them are
+    /// already appended) — the crash-resume tests' kill switch.
+    pub max_simulated: Option<usize>,
+}
+
+impl Default for SweepConfig<'_> {
+    fn default() -> Self {
+        Self {
+            cache_path: None,
+            salt: ENGINE_SALT,
+            max_simulated: None,
+        }
+    }
+}
+
+/// What a sweep did, for logging and the resume/invalidation tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells declared across all specs (with duplicates).
+    pub declared: usize,
+    /// Unique cells after global dedup.
+    pub unique: usize,
+    /// Unique cells satisfied from the cache.
+    pub from_cache: usize,
+    /// Unique cells actually simulated this run.
+    pub simulated: usize,
+    /// Cache lines skipped: wrong salt, torn/corrupt, or not requested.
+    pub skipped_lines: usize,
+}
+
+/// Run every unique cell of `cells` (deduped by content-addressed key),
+/// consulting and appending to the cache per `cfg`, and return the shared
+/// store plus what happened. Panics on simulation integrity failures
+/// (dropped requests, audit violations, conservation, instruction-count
+/// mismatches) exactly like the per-figure runner does.
+pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
+    let opts = run_opts();
+    let mut store = CellStore::new(opts);
+    let mut stats = SweepStats {
+        declared: cells.len(),
+        unique: 0,
+        from_cache: 0,
+        simulated: 0,
+        skipped_lines: 0,
+    };
+
+    // Global dedup, preserving first-declaration order for a stable,
+    // resumable work list.
+    let mut unique: Vec<Cell> = Vec::new();
+    let mut by_key: FnvHashMap<u64, Cell> = FnvHashMap::default();
+    for &cell in cells {
+        let key = cell.key(opts);
+        if by_key.insert(key, cell).is_none() {
+            unique.push(cell);
+        }
+    }
+    stats.unique = unique.len();
+
+    // Warm start: absorb every valid, currently-requested cache row.
+    if let Some(path) = cfg.cache_path {
+        stats.skipped_lines = load_cache(path, cfg.salt, &by_key, opts, &mut store);
+        stats.from_cache = store.len();
+    }
+
+    let mut to_run: Vec<Cell> = unique
+        .iter()
+        .copied()
+        .filter(|c| !store.contains(c))
+        .collect();
+    if let Some(limit) = cfg.max_simulated {
+        to_run.truncate(limit);
+    }
+
+    // Generate each distinct kernel once, in parallel, then run the unique
+    // cells through one work-stealing pass sharing the kernels read-only.
+    let mut kernel_ids: Vec<(&'static str, ldsim_workloads::Scale, u64)> = Vec::new();
+    for c in &to_run {
+        let id = (c.bench, c.scale, c.seed);
+        if !kernel_ids.contains(&id) {
+            kernel_ids.push(id);
+        }
+    }
+    let kernels: FnvHashMap<(&'static str, u8, u64), KernelProgram> = kernel_ids
+        .iter()
+        .map(|&(b, s, seed)| (b, scale_ord(s), seed))
+        .zip(parallel_map(kernel_ids.clone(), |(b, s, seed)| {
+            ldsim_workloads::benchmark(b, s, seed).generate()
+        }))
+        .collect();
+
+    let appender = cfg.cache_path.map(|path| {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open cache {}: {e}", path.display()));
+        Mutex::new(file)
+    });
+
+    let salt = cfg.salt;
+    let fresh: Vec<(Cell, RunResult)> = parallel_map(to_run, |cell| {
+        let kernel = &kernels[&(cell.bench, scale_ord(cell.scale), cell.seed)];
+        let result = run_one_kernel(
+            kernel,
+            cell.bench,
+            cell.scale,
+            cell.seed,
+            cell.kind,
+            |cfg| cell.tweak.apply(cfg),
+        );
+        if let Some(file) = &appender {
+            assert!(
+                result.hists.is_none(),
+                "refusing to cache an armed-histogram run ({}/{:?}): \
+                 distributions do not round-trip through the cell cache — \
+                 use the standalone histreport binary instead",
+                cell.bench,
+                cell.kind
+            );
+            let row = cache_row(&cell, opts, salt, &result);
+            let mut f = file.lock().unwrap();
+            // One write per row: a crash tears at most the final line,
+            // which the loader skips.
+            f.write_all(row.as_bytes())
+                .unwrap_or_else(|e| panic!("cache append failed: {e}"));
+        }
+        (cell, result)
+    });
+    stats.simulated = fresh.len();
+    for (cell, result) in fresh {
+        store.insert(&cell, result);
+    }
+
+    if cfg.max_simulated.is_none() {
+        verify_instruction_consistency(&unique, &store);
+    }
+    (store, stats)
+}
+
+/// Serialise one completed cell as a self-describing cache line.
+fn cache_row(cell: &Cell, opts: RunOpts, salt: &str, result: &RunResult) -> String {
+    let result_json = result.to_json();
+    format!(
+        "{{\"cellkey\":\"{:016x}\",\"engine\":\"{}\",\"scale\":\"{:?}\",\"seed\":{},\
+         \"cfg\":\"{:016x}\",{}\n",
+        cell.key(opts),
+        salt,
+        cell.scale,
+        cell.seed,
+        config_fingerprint(&cell.config(opts)),
+        &result_json[1..],
+    )
+}
+
+/// Load every trustworthy cache row into the store; returns the number of
+/// lines skipped (torn, corrupt, wrong salt, or not in the requested set).
+fn load_cache(
+    path: &Path,
+    salt: &str,
+    requested: &FnvHashMap<u64, Cell>,
+    opts: RunOpts,
+    store: &mut CellStore,
+) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return 0,
+        Err(e) => panic!("cannot read cache {}: {e}", path.display()),
+    };
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_cache_line(line, salt, requested, opts) {
+            Some((cell, result)) => store.insert(&cell, result),
+            None => skipped += 1,
+        }
+    }
+    skipped
+}
+
+/// Validate one cache line: parses, salt matches, its key re-derives from a
+/// requested cell, and the stored benchmark/config agree with that cell
+/// (belt and braces against key collisions and hand-edited files).
+fn parse_cache_line(
+    line: &str,
+    salt: &str,
+    requested: &FnvHashMap<u64, Cell>,
+    opts: RunOpts,
+) -> Option<(Cell, RunResult)> {
+    let p = ldsim_util::parse_object(line).ok()?;
+    if p.req_str("engine").ok()? != salt {
+        return None;
+    }
+    let key = u64::from_str_radix(p.req_str("cellkey").ok()?, 16).ok()?;
+    let cell = *requested.get(&key)?;
+    let fingerprint = u64::from_str_radix(p.req_str("cfg").ok()?, 16).ok()?;
+    if fingerprint != config_fingerprint(&cell.config(opts)) {
+        return None;
+    }
+    let result = RunResult::from_json(line).ok()?;
+    if result.benchmark != cell.bench {
+        return None;
+    }
+    Some((cell, result))
+}
+
+/// The cross-scheduler invariant `run_grid` enforced, applied globally:
+/// every untweaked cell of one (benchmark, scale, seed) must have retired
+/// the identical instruction count — schedulers saw the same workload under
+/// the same budget, whether the number came from the cache or a fresh run.
+fn verify_instruction_consistency(cells: &[Cell], store: &CellStore) {
+    let mut first: FnvHashMap<(&str, u8, u64), (&Cell, u64)> = FnvHashMap::default();
+    for cell in cells {
+        if cell.tweak != CfgTweak::None {
+            continue;
+        }
+        let n = store.get(cell).instructions;
+        match first.entry((cell.bench, scale_ord(cell.scale), cell.seed)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((cell, n));
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (ref_cell, ref_n) = *e.get();
+                assert_eq!(
+                    n, ref_n,
+                    "{}: {:?} retired a different instruction count than {:?} — \
+                     schedulers did not see the same workload (stale cache?)",
+                    cell.bench, cell.kind, ref_cell.kind
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::set_run_opts;
+    use ldsim_workloads::Scale;
+
+    fn cell(kind: SchedulerKind) -> Cell {
+        Cell::new("bfs", Scale::Tiny, 7, kind)
+    }
+
+    #[test]
+    fn keys_are_stable_and_discriminating() {
+        let opts = RunOpts::default();
+        let a = cell(SchedulerKind::Gmc);
+        assert_eq!(a.key(opts), a.key(opts), "key must be deterministic");
+        assert_ne!(a.key(opts), cell(SchedulerKind::Wg).key(opts));
+        assert_ne!(
+            a.key(opts),
+            Cell::new("bfs", Scale::Tiny, 8, SchedulerKind::Gmc).key(opts)
+        );
+        assert_ne!(
+            a.key(opts),
+            Cell::new("bfs", Scale::Small, 7, SchedulerKind::Gmc).key(opts)
+        );
+        assert_ne!(
+            a.key(opts),
+            Cell::new("spmv", Scale::Tiny, 7, SchedulerKind::Gmc).key(opts)
+        );
+        assert_ne!(
+            a.key(opts),
+            a.with_tweak(CfgTweak::RefreshOff).key(opts),
+            "a config tweak must change the key"
+        );
+        let armed = RunOpts {
+            trace: true,
+            ..RunOpts::default()
+        };
+        assert_ne!(
+            a.key(opts),
+            a.key(armed),
+            "run options change results, so they must change the key"
+        );
+        // SBWAS alpha is part of the scheduler identity.
+        assert_ne!(
+            cell(SchedulerKind::Sbwas { alpha_q: 1 }).key(opts),
+            cell(SchedulerKind::Sbwas { alpha_q: 2 }).key(opts)
+        );
+    }
+
+    #[test]
+    fn default_valued_tweak_dedupes_against_untweaked() {
+        // GmcMaxStreak(16) == the default: identical resolved config,
+        // identical key — simulating it twice would be waste, not safety.
+        let opts = RunOpts::default();
+        let base = cell(SchedulerKind::Gmc);
+        let tweaked = base.with_tweak(CfgTweak::GmcMaxStreak(16));
+        assert_eq!(base.key(opts), tweaked.key(opts));
+        assert_ne!(
+            base.key(opts),
+            base.with_tweak(CfgTweak::GmcMaxStreak(2)).key(opts)
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_every_knob_family() {
+        let base = config_fingerprint(&SimConfig::default());
+        let mut c = SimConfig::default();
+        c.mem.write_hi = 33;
+        assert_ne!(base, config_fingerprint(&c));
+        let mut c = SimConfig::default();
+        c.mem.timing.t_cas_ns = 13.0;
+        assert_ne!(base, config_fingerprint(&c));
+        let mut c = SimConfig::default();
+        c.gpu.l2_slice.mshr_entries = 97;
+        assert_ne!(base, config_fingerprint(&c));
+        let c = SimConfig {
+            fast_forward: false,
+            ..SimConfig::default()
+        };
+        assert_ne!(base, config_fingerprint(&c));
+        let mut c = SimConfig::default();
+        c.mem.reference_picks = true;
+        assert_ne!(base, config_fingerprint(&c));
+    }
+
+    #[test]
+    fn sweep_dedupes_and_caches_across_figures() {
+        let _guard = crate::runner::test_opts_lock();
+        set_run_opts(RunOpts::default());
+        let dir = std::env::temp_dir().join(format!("ldsim-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cellcache.jsonl");
+        // Two "figures" sharing the bfs/Gmc cell.
+        let cells = vec![
+            cell(SchedulerKind::Gmc),
+            cell(SchedulerKind::Wg),
+            cell(SchedulerKind::Gmc), // duplicate across figures
+        ];
+        let cfg = SweepConfig {
+            cache_path: Some(&cache),
+            ..SweepConfig::default()
+        };
+        let (store, stats) = run_sweep(&cells, &cfg);
+        assert_eq!(stats.declared, 3);
+        assert_eq!(stats.unique, 2);
+        assert_eq!(stats.from_cache, 0);
+        assert_eq!(stats.simulated, 2);
+        assert_eq!(store.len(), 2);
+        let cold = store.get(&cell(SchedulerKind::Gmc)).clone();
+
+        // Warm rerun: everything from cache, nothing simulated, identical
+        // result bytes.
+        let (store2, stats2) = run_sweep(&cells, &cfg);
+        assert_eq!(stats2.from_cache, 2);
+        assert_eq!(stats2.simulated, 0);
+        assert_eq!(
+            store2.get(&cell(SchedulerKind::Gmc)).to_json(),
+            cold.to_json()
+        );
+
+        // A bumped salt invalidates every row (they re-simulate), and the
+        // old rows survive alongside the new ones.
+        let bumped = SweepConfig {
+            cache_path: Some(&cache),
+            salt: "other-engine",
+            ..SweepConfig::default()
+        };
+        let (_, stats3) = run_sweep(&cells, &bumped);
+        assert_eq!(stats3.from_cache, 0, "bumped salt must invalidate");
+        assert_eq!(stats3.simulated, 2);
+        assert!(stats3.skipped_lines >= 2);
+        let (_, stats4) = run_sweep(&cells, &cfg);
+        assert_eq!(stats4.from_cache, 2, "original salt rows still valid");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_resume_completes_from_partial_cache() {
+        let _guard = crate::runner::test_opts_lock();
+        set_run_opts(RunOpts::default());
+        let dir = std::env::temp_dir().join(format!("ldsim-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cellcache.jsonl");
+        let cells = vec![
+            cell(SchedulerKind::Gmc),
+            cell(SchedulerKind::Wg),
+            cell(SchedulerKind::WgW),
+        ];
+        // "Crash" after one cell.
+        let crashed = SweepConfig {
+            cache_path: Some(&cache),
+            max_simulated: Some(1),
+            ..SweepConfig::default()
+        };
+        let (_, s1) = run_sweep(&cells, &crashed);
+        assert_eq!(s1.simulated, 1);
+        // Simulate a torn final line from a mid-append crash.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&cache)
+                .unwrap();
+            write!(
+                f,
+                "{{\"cellkey\":\"00ff\",\"engine\":\"{ENGINE_SALT}\",\"tr"
+            )
+            .unwrap();
+        }
+        // Resume: picks up the finished cell, skips the torn line, runs
+        // the remaining two.
+        let cfg = SweepConfig {
+            cache_path: Some(&cache),
+            ..SweepConfig::default()
+        };
+        let (store, s2) = run_sweep(&cells, &cfg);
+        assert_eq!(s2.from_cache, 1);
+        assert_eq!(s2.simulated, 2);
+        assert!(s2.skipped_lines >= 1, "torn line must be skipped");
+        assert_eq!(store.len(), 3);
+        // A cache-free run agrees bit-exactly with the resumed one.
+        let (fresh, _) = run_sweep(&cells, &SweepConfig::default());
+        for c in &cells {
+            assert_eq!(fresh.get(c), store.get(c), "resume must be bit-exact");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell not in store")]
+    fn undeclared_cell_lookup_panics() {
+        let store = CellStore::new(RunOpts::default());
+        store.get(&cell(SchedulerKind::Gmc));
+    }
+}

@@ -1,11 +1,316 @@
-//! Minimal JSON writer for the JSONL exports (run results, event traces).
+//! Minimal JSON writer + parser for the JSONL exports (run results, event
+//! traces, the sweep orchestrator's cell cache).
 //!
 //! Only the subset the workspace emits is supported: flat objects with
 //! string / integer / float / bool / null fields and arrays of numbers.
 //! Output is deterministic — fields appear in insertion order and floats
-//! use Rust's shortest-roundtrip formatting.
+//! use Rust's shortest-roundtrip formatting — and [`parse_object`] inverts
+//! it exactly: integers stay integers (a 64-bit trace hash must not round
+//! through `f64`) and floats re-parse to the identical bit pattern, so a
+//! value that round-trips through the cell cache re-serialises to the
+//! same bytes.
 
 use std::fmt::Write as _;
+
+/// One parsed JSON value (the subset [`JsonObject`] can emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Non-negative integer literal (no `.`/`e`) that fits `u64`.
+    U64(u64),
+    /// Negative integer literal that fits `i64`.
+    I64(i64),
+    /// Any other number literal.
+    F64(f64),
+    Str(String),
+    /// Array of numbers (the only array shape the workspace emits).
+    Arr(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: exact for integer literals that fit, lossy never —
+    /// a `U64` above 2^53 was written by [`JsonObject::u64`] and should be
+    /// read back via [`Self::as_u64`] instead.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::I64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object: field order preserved, lookup by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl ParsedObject {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+
+    /// Typed accessors that name the missing/mistyped key in the error —
+    /// a cache row failing to load should say which field broke.
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing or non-u64 field '{key}'"))
+    }
+
+    pub fn req_f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+    }
+
+    pub fn req_bool(&self, key: &str) -> Result<bool, String> {
+        self.get(key)
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| format!("missing or non-bool field '{key}'"))
+    }
+
+    pub fn req_str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("missing or non-string field '{key}'"))
+    }
+}
+
+/// Parse one flat JSON object (the shape [`JsonObject`] writes: scalar
+/// fields plus arrays of numbers; no nested objects). Returns an error
+/// describing the first offence — callers treat unparseable cache lines as
+/// absent, so the message is diagnostic, not control flow.
+pub fn parse_object(s: &str) -> Result<ParsedObject, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            fields.push((key, val));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(ParsedObject { fields })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected '{}', got {other:?}", want as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                        self.pos += 4;
+                        // The writer only escapes control characters this
+                        // way, so surrogate pairs never occur.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        if start + width > self.bytes.len() {
+                            return Err("truncated utf-8 sequence".into());
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..start + width])
+                            .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        out.push_str(s);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("invalid number at offset {start}"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|_| JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| JsonValue::Null),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.number()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Arr(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
 
 /// Escape a string into a JSON string literal (without the quotes).
 pub fn escape_into(out: &mut String, s: &str) {
@@ -160,5 +465,78 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().build(), "{}");
+    }
+
+    #[test]
+    fn parse_inverts_writer_exactly() {
+        let mut o = JsonObject::new();
+        o.str("name", "a\"b\\c\nd")
+            .u64("big", u64::MAX) // would not survive an f64 round-trip
+            .i64("neg", -42)
+            .f64("ipc", 0.1 + 0.2) // non-representable decimal: bit-exact?
+            .f64("nan", f64::NAN)
+            .bool("ok", true)
+            .null("none")
+            .u64_array("xs", &[1, 2, 3]);
+        let text = o.build();
+        let p = parse_object(&text).unwrap();
+        assert_eq!(p.req_str("name").unwrap(), "a\"b\\c\nd");
+        assert_eq!(p.req_u64("big").unwrap(), u64::MAX);
+        assert_eq!(p.get("neg"), Some(&JsonValue::I64(-42)));
+        assert_eq!(
+            p.req_f64("ipc").unwrap().to_bits(),
+            (0.1 + 0.2f64).to_bits()
+        );
+        assert_eq!(p.get("nan"), Some(&JsonValue::Null));
+        assert!(p.req_bool("ok").unwrap());
+        assert_eq!(p.get("none"), Some(&JsonValue::Null));
+        let xs: Vec<u64> = p
+            .get("xs")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(xs, [1, 2, 3]);
+        // Re-serialising the parsed floats reproduces the original bytes.
+        let mut again = JsonObject::new();
+        again.f64("ipc", p.req_f64("ipc").unwrap());
+        let again = again.build();
+        assert!(text.contains(&again[1..again.len() - 1]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object("{\"a\":1").is_err()); // truncated (crash mid-append)
+        assert!(parse_object("{\"a\":1}x").is_err()); // trailing garbage
+        assert!(parse_object("{\"a\":}").is_err());
+        assert!(parse_object("not json").is_err());
+        assert!(parse_object("{\"a\":\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_empty() {
+        let p = parse_object(" { } ").unwrap();
+        assert!(p.fields().is_empty());
+        let p = parse_object("{ \"a\" : 1 , \"b\" : [ 1 , 2 ] }").unwrap();
+        assert_eq!(p.req_u64("a").unwrap(), 1);
+        assert_eq!(p.get("b").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_preserves_unicode() {
+        let mut o = JsonObject::new();
+        o.str("s", "héllo — ünïcode \u{1}");
+        let p = parse_object(&o.build()).unwrap();
+        assert_eq!(p.req_str("s").unwrap(), "héllo — ünïcode \u{1}");
+    }
+
+    #[test]
+    fn typed_accessors_name_the_field() {
+        let p = parse_object("{\"a\":\"x\"}").unwrap();
+        assert!(p.req_u64("a").unwrap_err().contains("'a'"));
+        assert!(p.req_u64("missing").unwrap_err().contains("'missing'"));
     }
 }

@@ -17,6 +17,6 @@ pub mod par;
 pub mod rng;
 
 pub use hash::{Fnv64, FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
-pub use json::JsonObject;
-pub use par::parallel_map;
+pub use json::{parse_object, JsonObject, JsonValue, ParsedObject};
+pub use par::{jobs, parallel_map, set_jobs};
 pub use rng::StdRng;

@@ -1,12 +1,50 @@
 //! Scoped worker-pool map: the experiment runner's rayon replacement.
 //!
-//! `parallel_map` runs `f` over every item on `min(items, cores)` scoped
+//! `parallel_map` runs `f` over every item on `min(items, jobs())` scoped
 //! threads, preserving input order in the output. Work is distributed by an
 //! atomic cursor, so uneven item costs (a Full-scale WG-W run next to a
 //! Tiny FCFS run) still balance.
+//!
+//! The worker count defaults to `available_parallelism`, but can be capped:
+//! programmatically via [`set_jobs`] (the bench binaries' `--jobs N` flag)
+//! or with the `LDSIM_JOBS` environment variable. CI runners advertise more
+//! cores than they deliver, and deterministic-timing debugging wants
+//! `--jobs 1`; both need an override that `available_parallelism` alone
+//! cannot provide.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads [`parallel_map`] uses. `Some(n)` caps
+/// at `n` (clamped to at least 1); `None` clears the override and falls
+/// back to `LDSIM_JOBS` / `available_parallelism`.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The worker count the next [`parallel_map`] call will use, resolved in
+/// priority order: [`set_jobs`] override, then the `LDSIM_JOBS` environment
+/// variable (ignored unless it parses to a positive integer), then
+/// `available_parallelism`.
+pub fn jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("LDSIM_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Map `f` over `items` in parallel, preserving order.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
@@ -19,10 +57,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let threads = jobs().min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -70,6 +105,24 @@ mod tests {
         let e: Vec<u32> = parallel_map(Vec::new(), |x: u32| x);
         assert!(e.is_empty());
         assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_override_wins_clears_and_serialises() {
+        // One test, not several: `set_jobs` is process-wide state, and the
+        // test harness runs sibling tests concurrently.
+        set_jobs(Some(3));
+        assert_eq!(jobs(), 3);
+        set_jobs(Some(0)); // clamped to 1, not "unset"
+        assert_eq!(jobs(), 1);
+        let caller = std::thread::current().id();
+        let ids = parallel_map(vec![0u8; 16], |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|id| *id == caller),
+            "--jobs 1 must run sequentially on the calling thread"
+        );
+        set_jobs(None);
+        assert!(jobs() >= 1);
     }
 
     #[test]
