@@ -1,0 +1,6 @@
+//! Model-validation CLI: microbenchmark latencies vs. closed-form
+//! arithmetic, with golden-banded JSONL output. See `validate.rs`.
+
+fn main() {
+    ldsim_bench::validate::standalone_main();
+}

@@ -46,6 +46,7 @@ pub fn registry(scale: Scale, seed: u64) -> Vec<FigureSpec> {
         power(scale, seed),
         ablation(scale, seed),
         calibration(scale, seed),
+        microbench(scale, seed),
     ]
 }
 
@@ -1067,6 +1068,57 @@ fn calibration(scale: Scale, seed: u64) -> FigureSpec {
             t.print();
             assert!(all_ok, "calibration drifted outside the paper's bands");
             println!("\nall checks passed.");
+        }),
+    }
+}
+
+/// The `mb_*` pointer-chase calibration grid (latency-regime
+/// microbenchmarks; see `ldsim_workloads::microbench`). Observational
+/// here — the latency percentiles per regime, cached and dumped like any
+/// figure — while the `validate` bin holds the exact closed-form
+/// assertions against `golden/validate_bands.jsonl`.
+fn microbench(scale: Scale, seed: u64) -> FigureSpec {
+    let mut cells: Vec<Cell> = [
+        "mb_serial",
+        "mb_rowhit",
+        "mb_rowmiss",
+        "mb_conflict",
+        "mb_broadcast",
+        "mb_random",
+        "mb_l2hit",
+        "mb_bypass",
+    ]
+    .iter()
+    .map(|&b| Cell::new(b, scale, seed, SchedulerKind::Gmc))
+    .collect();
+    // The bypass kernel once more with the L2 actually bypassed — the
+    // pairing that shows cache-off traffic reaching DRAM.
+    cells.push(
+        Cell::new("mb_bypass", scale, seed, SchedulerKind::Gmc).with_tweak(CfgTweak::L2Bypass),
+    );
+    FigureSpec {
+        name: "microbench",
+        cells: cells.clone(),
+        render: Box::new(move |store, dir| {
+            let mut t = Table::new(&["microbench", "eff p50", "eff p99", "gap p50", "reqs/load"]);
+            for c in &cells {
+                let r = store.get(c);
+                let label = if c.tweak == CfgTweak::L2Bypass {
+                    format!("{} (bypass)", c.bench)
+                } else {
+                    c.bench.to_string()
+                };
+                t.row(vec![
+                    label,
+                    r.eff_p50.to_string(),
+                    r.eff_p99.to_string(),
+                    r.gap_p50.to_string(),
+                    f2(r.avg_reqs_per_load),
+                ]);
+            }
+            println!("Microbenchmark latency regimes (GMC, default machine)\n");
+            t.print();
+            dump_json_to(dir, "microbench", scale, seed, &fetch(store, &cells));
         }),
     }
 }

@@ -13,6 +13,7 @@
 //! companion `results/<figure>.hist.jsonl`.
 
 pub mod figures;
+pub mod validate;
 
 use ldsim_system::{RunOpts, RunResult};
 use ldsim_util::json::JsonObject;

@@ -1,0 +1,51 @@
+//! Tier-1 wrapper around the model-validation suite: the Tiny-scale
+//! checks must pass under `cargo test`, not only in the standalone
+//! `validate` binary, so a timing-model drift fails the ordinary test run.
+
+use ldsim_bench::validate::{run_scale, to_jsonl};
+use ldsim_workloads::Scale;
+
+#[test]
+fn tiny_validation_suite_passes() {
+    let rows = run_scale(Scale::Tiny);
+    let failed: Vec<&str> = rows.iter().filter(|r| !r.pass).map(|r| r.check).collect();
+    assert!(failed.is_empty(), "failed validation checks: {failed:?}");
+    // The suite covers every regime of the latency ladder.
+    for expected in [
+        "serial_closed_bank",
+        "rowhit_open_row",
+        "rowmiss_precharge",
+        "conflict_gap",
+        "l2_hit",
+        "bypass_row_hit",
+        "loaded_random_p50",
+    ] {
+        assert!(
+            rows.iter().any(|r| r.check == expected),
+            "missing check {expected}"
+        );
+    }
+}
+
+#[test]
+fn tiny_rows_match_the_committed_golden_bands() {
+    // The golden file is the validate bin's byte-exact output at
+    // tiny+small; the tiny prefix must match what this build produces, so
+    // a band or measurement drift fails here before CI diffs the file.
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../golden/validate_bands.jsonl"),
+    )
+    .expect("golden/validate_bands.jsonl must be committed");
+    let tiny_golden: String = golden
+        .lines()
+        .filter(|l| l.contains("\"scale\":\"tiny\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let produced = to_jsonl(&run_scale(Scale::Tiny));
+    assert_eq!(
+        produced, tiny_golden,
+        "tiny validation rows drifted from golden/validate_bands.jsonl \
+         (regenerate with `validate tiny small --out golden` after verifying \
+         the change is intentional, and rename the file)"
+    );
+}

@@ -28,6 +28,9 @@ pub struct Partition {
     pub ctrl: Controller,
     mapper: AddressMapper,
     line_shift: u32,
+    /// Cache-bypass mode (`GpuConfig::l2_bypass`): reads skip probe and
+    /// fill (MSHR merging still applies), stores go straight to DRAM.
+    bypass: bool,
     /// Requests arriving from the request crossbar, processed in order.
     input: VecDeque<MemRequest>,
     /// L2-latency delay line toward the controller.
@@ -44,7 +47,13 @@ pub struct Partition {
 }
 
 impl Partition {
-    pub fn new(id: ChannelId, l2_cfg: &CacheConfig, mem: &MemConfig, ctrl: Controller) -> Self {
+    pub fn new(
+        id: ChannelId,
+        l2_cfg: &CacheConfig,
+        mem: &MemConfig,
+        ctrl: Controller,
+        bypass: bool,
+    ) -> Self {
         Self {
             id,
             l2: Cache::new(l2_cfg),
@@ -53,6 +62,7 @@ impl Partition {
             ctrl,
             mapper: AddressMapper::new(mem, l2_cfg.line_bytes),
             line_shift: l2_cfg.line_bytes.trailing_zeros(),
+            bypass,
             input: VecDeque::new(),
             to_ctrl: VecDeque::new(),
             to_sm: VecDeque::new(),
@@ -114,7 +124,7 @@ impl Partition {
                     // stays inside the scheduler-visible read queue.
                     let ctrl_full = self.ctrl.read_backlog() + self.to_ctrl.len()
                         >= self.ctrl.read_capacity() + 8;
-                    if self.l2.probe(req.line_addr, false) {
+                    if !self.bypass && self.l2.probe(req.line_addr, false) {
                         // L2 hit: absorbed; respond to the SM.
                         self.input.pop_front();
                         self.ctrl.note_absorbed(req.wg, req.group_size_on_channel);
@@ -150,7 +160,11 @@ impl Partition {
                         return; // back-pressure stores too
                     }
                     self.input.pop_front();
-                    if !self.l2.probe(req.line_addr, true) {
+                    if self.bypass {
+                        // Straight to the write queue, like a dirty eviction
+                        // would have gone; no allocation, no probe.
+                        self.write_back(req.line_addr, now);
+                    } else if !self.l2.probe(req.line_addr, true) {
                         // Write-allocate without fetch; dirty eviction
                         // becomes a DRAM write-back.
                         if let Some((victim, dirty)) = self.l2.fill(req.line_addr, true) {
@@ -167,9 +181,11 @@ impl Partition {
     /// A DRAM read completed: fill the L2 and wake every merged waiter.
     pub fn on_ctrl_response(&mut self, resp: &MemResponse, now: Cycle) {
         debug_assert_eq!(resp.kind, ReqKind::Read);
-        if let Some((victim, dirty)) = self.l2.fill(resp.line_addr, false) {
-            if dirty {
-                self.write_back(victim, now);
+        if !self.bypass {
+            if let Some((victim, dirty)) = self.l2.fill(resp.line_addr, false) {
+                if dirty {
+                    self.write_back(victim, now);
+                }
             }
         }
         for waiter in self.l2_mshr.fill(resp.line_addr) {

@@ -26,7 +26,11 @@ fn mk_partition() -> (Partition, AddressMapper, ChannelId) {
         merb,
         false,
     );
-    (Partition::new(ch, &gpu.l2_slice, &mem, ctrl), mapper, ch)
+    (
+        Partition::new(ch, &gpu.l2_slice, &mem, ctrl, false),
+        mapper,
+        ch,
+    )
 }
 
 /// Find an address whose decode lands on `ch`.

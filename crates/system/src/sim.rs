@@ -100,8 +100,13 @@ impl Simulator {
                     merb.clone(),
                     zero_div,
                 );
-                let mut part =
-                    Partition::new(ChannelId(c as u8), &cfg.gpu.l2_slice, &cfg.mem, ctrl);
+                let mut part = Partition::new(
+                    ChannelId(c as u8),
+                    &cfg.gpu.l2_slice,
+                    &cfg.mem,
+                    ctrl,
+                    cfg.gpu.l2_bypass,
+                );
                 if cfg.hist {
                     part.enable_hist();
                 }

@@ -80,6 +80,8 @@ pub enum CfgTweak {
     ClosedPage,
     /// Ablation 5: GMC row-hit streak cap.
     GmcMaxStreak(usize),
+    /// Calibration: bypass the L2 slices (microbench `mb_bypass` cells).
+    L2Bypass,
 }
 
 impl CfgTweak {
@@ -97,6 +99,7 @@ impl CfgTweak {
             CfgTweak::RefreshOff => cfg.mem.refresh_enabled = false,
             CfgTweak::ClosedPage => cfg.mem.page_policy = PagePolicy::Closed,
             CfgTweak::GmcMaxStreak(n) => cfg.mem.gmc_max_streak = n,
+            CfgTweak::L2Bypass => cfg.gpu.l2_bypass = true,
         }
     }
 }
@@ -178,7 +181,8 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
         .write_u64(g.warp_size as u64)
         .write_u64(g.max_warps_per_sm as u64)
         .write_u64(g.xbar_latency)
-        .write_u64(g.xbar_queue as u64);
+        .write_u64(g.xbar_queue as u64)
+        .write_u8(g.l2_bypass as u8);
     for c in [&g.l1, &g.l2_slice] {
         h.write_u64(c.size_bytes as u64)
             .write_u64(c.line_bytes as u64)
@@ -699,6 +703,62 @@ mod tests {
         assert!(stats3.skipped_lines >= 2);
         let (_, stats4) = run_sweep(&cells, &cfg);
         assert_eq!(stats4.from_cache, 2, "original salt rows still valid");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn microbench_and_csr_cells_partition_the_cache() {
+        // A calibration chase kernel and a CSR benchmark at *identical*
+        // knobs (scale, seed, scheduler, tweak) resolve to the same config
+        // fingerprint — only the bench name separates their cache keys. A
+        // collision would silently serve one workload's numbers for the
+        // other, so pin the partitioning end to end through the JSONL file.
+        let _guard = crate::runner::test_opts_lock();
+        set_run_opts(RunOpts::default());
+        let opts = RunOpts::default();
+        let dir = std::env::temp_dir().join(format!("ldsim-partition-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cellcache.jsonl");
+        let mb = Cell::new("mb_serial", Scale::Tiny, 7, SchedulerKind::Gmc);
+        let csr = Cell::new("bfs", Scale::Tiny, 7, SchedulerKind::Gmc);
+        assert_eq!(
+            config_fingerprint(&mb.config(opts)),
+            config_fingerprint(&csr.config(opts)),
+            "identical knobs must resolve to one config fingerprint"
+        );
+        assert_ne!(mb.key(opts), csr.key(opts), "bench name must split the key");
+
+        let cells = vec![mb, csr];
+        let cfg = SweepConfig {
+            cache_path: Some(&cache),
+            ..SweepConfig::default()
+        };
+        let (store, stats) = run_sweep(&cells, &cfg);
+        assert_eq!(stats.simulated, 2, "both cells must simulate cold");
+        let text = std::fs::read_to_string(&cache).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one cache row per cell");
+        for (c, name) in [(&mb, "mb_serial"), (&csr, "bfs")] {
+            let key = format!("\"cellkey\":\"{:016x}\"", c.key(opts));
+            let row = lines
+                .iter()
+                .find(|l| l.contains(&key))
+                .unwrap_or_else(|| panic!("no cache row keyed for {name}"));
+            assert!(
+                row.contains(&format!("\"benchmark\":\"{name}\"")),
+                "row keyed for {name} must carry that benchmark's result"
+            );
+        }
+
+        // Warm reload: both rows come back from cache, each under its own
+        // benchmark — no cross-serving.
+        let (store2, stats2) = run_sweep(&cells, &cfg);
+        assert_eq!(stats2.from_cache, 2);
+        assert_eq!(stats2.simulated, 0);
+        for c in [&mb, &csr] {
+            assert_eq!(store2.get(c), store.get(c), "warm row must be bit-exact");
+            assert_eq!(store2.get(c).benchmark, c.bench);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

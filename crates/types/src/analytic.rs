@@ -1,0 +1,154 @@
+//! Closed-form latency expectations derived from [`SimConfig`] timings.
+//!
+//! The microbenchmark validation suite (`crates/bench`'s `validate` bin and
+//! the `mb_*` workloads) checks the simulator's *modeled* latencies against
+//! arithmetic performed here, directly on the configuration knobs. An idle
+//! dependent load must cost exactly the sum of the pipeline stages it
+//! crosses — if it doesn't, either a stage silently changed or a timing
+//! parameter stopped feeding the path it is supposed to pin.
+//!
+//! ## The idle dependent-load pipeline (one request, empty machine)
+//!
+//! ```text
+//! SM issue ──request crossbar (xbar_latency)──▶ partition
+//!   +1  alignment: the crossbar delivers after the partition's tick,
+//!       so the L2 probe happens on the next cycle
+//!   L2 lookup miss (l2_latency delay line toward the controller)
+//!   +1  alignment: the delay line releases after the controller's tick,
+//!       so admission/first command happens on the next cycle
+//!   DRAM: [tRP if a conflicting row is open] [tRCD if the bank is closed]
+//!         tCAS + bursts_per_access x tBURST (data transfer)
+//! partition ──response crossbar (xbar_latency)──▶ SM completes the load
+//! ```
+//!
+//! Each regime constant below names the timing parameter it *pins*: a check
+//! against [`AnalyticLatency::dram_closed`] fails exactly when `tRCD` (or
+//! anything upstream of it) drifts, and so on down the ladder.
+
+use crate::clock::Cycle;
+use crate::config::{SimConfig, TimingCycles};
+
+/// Closed-form latency expectations for one [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyticLatency {
+    /// One-way crossbar latency (`GpuConfig::xbar_latency`).
+    pub xbar: Cycle,
+    /// L2 slice lookup latency (`CacheConfig::latency` of the L2).
+    pub l2: Cycle,
+    /// DRAM timing constraints in command clocks.
+    pub t: TimingCycles,
+    /// Data-bus cycles per 128 B access: `bursts_per_access x tBURST`.
+    pub data_burst: Cycle,
+}
+
+impl AnalyticLatency {
+    /// Derive the expectations from a configuration. Uses only public
+    /// config knobs — no simulator state — so a check against these values
+    /// genuinely cross-validates two independent derivations.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        let t = cfg.mem.timing.in_cycles(cfg.clock);
+        Self {
+            xbar: cfg.gpu.xbar_latency,
+            l2: cfg.gpu.l2_slice.latency,
+            t,
+            data_burst: cfg.mem.bursts_per_access * t.t_burst,
+        }
+    }
+
+    /// Fixed pipeline cost every DRAM-bound load pays regardless of row
+    /// state: both crossbar crossings, the L2 lookup, and the two one-cycle
+    /// stage-alignment delays (crossbar delivery lands after the
+    /// partition's tick; the L2 delay line releases after the controller's
+    /// tick). Pins `xbar_latency` and the L2 `latency` jointly.
+    pub fn pipeline_overhead(&self) -> Cycle {
+        2 * self.xbar + self.l2 + 2
+    }
+
+    /// An L2 *hit*: both crossbar crossings plus the single alignment cycle
+    /// before the probe (hits respond in the probing cycle, so neither the
+    /// L2 delay line nor the second alignment applies). Pins
+    /// `xbar_latency`: d(l2_hit)/d(xbar) = 2 and nothing else moves it.
+    pub fn l2_hit(&self) -> Cycle {
+        2 * self.xbar + 1
+    }
+
+    /// Idle DRAM read with the target row already open: column access plus
+    /// data transfer. Relative to [`Self::dram_closed`], pins `tCAS` (the
+    /// only bank-timing term left).
+    pub fn dram_row_hit(&self) -> Cycle {
+        self.pipeline_overhead() + self.t.t_cas + self.data_burst
+    }
+
+    /// Idle DRAM read to a *closed* bank (the first-touch case): activate,
+    /// then column access and data. Relative to [`Self::dram_row_hit`],
+    /// pins `tRCD`.
+    pub fn dram_closed(&self) -> Cycle {
+        self.pipeline_overhead() + self.t.t_rcd + self.t.t_cas + self.data_burst
+    }
+
+    /// Idle DRAM read that conflicts with an open row: precharge, activate,
+    /// column access, data. Relative to [`Self::dram_closed`], pins `tRP`.
+    pub fn dram_row_miss(&self) -> Cycle {
+        self.pipeline_overhead() + self.t.t_rp + self.t.t_rcd + self.t.t_cas + self.data_burst
+    }
+
+    /// Minimum spacing between consecutive activates to the *same* bank —
+    /// the serialisation quantum of a bank conflict. A `k`-row conflict
+    /// burst spreads its DRAM completions over `(k-1) x tRC`. Pins `tRC`.
+    pub fn bank_conflict_spacing(&self) -> Cycle {
+        self.t.t_rc
+    }
+
+    /// The expected first-to-last DRAM completion gap of one load whose
+    /// `k` requests hit `k` different rows of one bank, on an idle machine.
+    pub fn conflict_gap(&self, k: u64) -> Cycle {
+        k.saturating_sub(1) * self.bank_conflict_spacing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_ladder_matches_table2_arithmetic() {
+        // Table II at the GDDR5 command clock: tRCD=tRP=tCAS=18, tRC=60,
+        // xbar=40, L2 lookup=24, 2 bursts x 2 tCK of data.
+        let a = AnalyticLatency::from_config(&SimConfig::default());
+        assert_eq!(a.pipeline_overhead(), 2 * 40 + 24 + 2);
+        assert_eq!(a.l2_hit(), 81);
+        assert_eq!(a.dram_row_hit(), 106 + 18 + 4);
+        assert_eq!(a.dram_closed(), 106 + 18 + 18 + 4);
+        assert_eq!(a.dram_row_miss(), 106 + 18 + 18 + 18 + 4);
+        assert_eq!(a.bank_conflict_spacing(), 60);
+        assert_eq!(a.conflict_gap(8), 7 * 60);
+        assert_eq!(a.conflict_gap(0), 0);
+    }
+
+    #[test]
+    fn ladder_is_strictly_ordered_for_any_positive_timing() {
+        let a = AnalyticLatency::from_config(&SimConfig::default());
+        assert!(a.l2_hit() < a.dram_row_hit());
+        assert!(a.dram_row_hit() < a.dram_closed());
+        assert!(a.dram_closed() < a.dram_row_miss());
+    }
+
+    #[test]
+    fn knobs_move_only_their_own_regime() {
+        let base = AnalyticLatency::from_config(&SimConfig::default());
+        let mut cfg = SimConfig::default();
+        cfg.mem.timing.t_rp_ns += 4.0;
+        let a = AnalyticLatency::from_config(&cfg);
+        // tRP feeds the row-miss regime only.
+        assert_eq!(a.dram_row_hit(), base.dram_row_hit());
+        assert_eq!(a.dram_closed(), base.dram_closed());
+        assert!(a.dram_row_miss() > base.dram_row_miss());
+
+        let mut cfg = SimConfig::default();
+        cfg.gpu.xbar_latency += 5;
+        let a = AnalyticLatency::from_config(&cfg);
+        // The crossbar feeds every regime, twice.
+        assert_eq!(a.l2_hit(), base.l2_hit() + 10);
+        assert_eq!(a.dram_closed(), base.dram_closed() + 10);
+    }
+}

@@ -149,6 +149,11 @@ pub struct GpuConfig {
     pub xbar_latency: Cycle,
     /// Per-SM injection queue capacity (requests).
     pub xbar_queue: usize,
+    /// Bypass the L2 slices: reads never probe or fill the cache (MSHR
+    /// merging still applies), stores go straight to the DRAM write queue.
+    /// Models `ld.global.cg`-style cache-bypassed access for the
+    /// calibration microbenchmarks; off for every paper figure.
+    pub l2_bypass: bool,
 }
 
 impl Default for GpuConfig {
@@ -173,6 +178,7 @@ impl Default for GpuConfig {
             },
             xbar_latency: 40,
             xbar_queue: 8,
+            l2_bypass: false,
         }
     }
 }

@@ -16,6 +16,7 @@
 //!   component's statistics.
 
 pub mod addr;
+pub mod analytic;
 pub mod clock;
 pub mod config;
 pub mod ids;
@@ -24,6 +25,7 @@ pub mod req;
 pub mod stats;
 
 pub use addr::{AddressMapper, DecodedAddr};
+pub use analytic::AnalyticLatency;
 pub use clock::Cycle;
 pub use config::{CacheConfig, GpuConfig, MemConfig, SchedulerKind, SimConfig, TimingParams};
 pub use ids::{BankId, ChannelId, GlobalWarpId, LaneMask, RequestId, SmId, WarpGroupId, WarpId};

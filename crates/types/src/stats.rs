@@ -420,6 +420,84 @@ mod tests {
         a.merge(&Histogram::log2(4, 32));
     }
 
+    #[test]
+    fn histogram_merge_of_disjoint_ranges_preserves_extremes_and_quantiles() {
+        // Two histograms whose sample ranges do not overlap: the merge's
+        // min/max must span both, and quantiles must jump across the gap
+        // rather than interpolate into it.
+        let mut lo = Histogram::latency();
+        let mut hi = Histogram::latency();
+        for v in [10u64, 12, 14, 16, 18, 20] {
+            lo.add(v);
+        }
+        for v in [5000u64, 5200, 5400, 6000] {
+            hi.add(v);
+        }
+        let (lo_alone, hi_alone) = (lo.clone(), hi.clone());
+        lo.merge(&hi);
+        assert_eq!(lo.total(), 10);
+        assert_eq!(lo.min(), 10);
+        assert_eq!(lo.max(), 6000);
+        assert!(
+            (lo.mean() - (90.0 + 21_600.0) / 10.0).abs() < 1e-9,
+            "merged mean must be the exact combined mean"
+        );
+        // Ranks inside the low range resolve there; ranks past it land in
+        // the high range — nothing is ever reported from the empty gap.
+        assert!(lo.quantile(0.3) <= lo_alone.max());
+        assert!(lo.quantile(0.9) >= hi_alone.min());
+        let p50 = lo.quantile(0.5);
+        assert!(
+            p50 <= lo_alone.max() || p50 >= hi_alone.min(),
+            "quantile {p50} interpolated into the empty gap"
+        );
+        assert_eq!(lo.quantile(1.0), 6000);
+        assert_eq!(lo.quantile(0.0), 10);
+    }
+
+    #[test]
+    fn histogram_empty_merge_identities() {
+        let mut a = Histogram::latency();
+        a.merge(&Histogram::latency());
+        assert!(a.is_empty());
+        assert_eq!(a.quantile(0.5), 0, "empty-into-empty stays empty");
+        // Empty absorbing a populated histogram must adopt its extremes
+        // (not keep the 0-initialised min).
+        let mut src = Histogram::latency();
+        src.add(700);
+        src.add(900);
+        a.merge(&src);
+        assert_eq!((a.min(), a.max(), a.total()), (700, 900, 2));
+        assert_eq!(a.quantile(0.0), 700);
+    }
+
+    #[test]
+    fn histogram_single_bucket_quantiles_clamp_to_observed_range() {
+        // Distinct values that all land in one log bucket (width 32 at this
+        // magnitude): every quantile is answered from that bucket, clamped
+        // to the really-observed [min, max] — never the raw bucket bound.
+        let mut h = Histogram::latency();
+        for v in [1000u64, 1001, 1002] {
+            h.add(v);
+        }
+        let (blo, bhi) = {
+            // All three samples share a bucket.
+            let occupied: Vec<(u64, u64, u64)> = h.nonzero_buckets().collect();
+            assert_eq!(occupied.len(), 1, "samples must share one bucket");
+            (occupied[0].0, occupied[0].1)
+        };
+        assert!(blo <= 1000 && bhi >= 1002);
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (1000..=1002).contains(&v),
+                "quantile({q}) = {v} escaped the observed range"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(1.0), 1002);
+    }
+
     /// Property test (seeded LCG — no external crates): for random sample
     /// sets, `quantile(q)` must lie between the exact upper order statistic
     /// and that statistic scaled by one bucket width (6.25% for sub_bits=5).

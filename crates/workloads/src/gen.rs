@@ -55,19 +55,36 @@ pub struct BenchmarkGen {
     pub scale: Scale,
     pub seed: u64,
     mapper: AddressMapper,
+    /// Set when the name resolved to a calibration microbenchmark
+    /// (`mb_*`), whose kernels are built by construction rather than from
+    /// profile statistics.
+    micro: Option<&'static crate::microbench::Microbench>,
 }
 
-/// Look up `name` and bind it to a scale and seed.
+/// Look up `name` and bind it to a scale and seed. Calibration
+/// microbenchmarks (`mb_*`, see [`crate::microbench`]) resolve here too,
+/// so the sweep/figure machinery treats them like any benchmark.
 ///
 /// # Panics
 /// On an unknown benchmark name — the registry is a fixed, documented set.
 pub fn benchmark(name: &str, scale: Scale, seed: u64) -> BenchmarkGen {
+    let mapper = AddressMapper::new(&MemConfig::default(), 128);
+    if let Some(mb) = crate::microbench::find(name) {
+        return BenchmarkGen {
+            profile: &mb.profile,
+            scale,
+            seed,
+            mapper,
+            micro: Some(mb),
+        };
+    }
     let profile = find(name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
     BenchmarkGen {
         profile,
         scale,
         seed,
-        mapper: AddressMapper::new(&MemConfig::default(), 128),
+        mapper,
+        micro: None,
     }
 }
 
@@ -76,6 +93,9 @@ const LINE: u64 = 128;
 impl BenchmarkGen {
     /// Generate the kernel: one program per (SM, warp slot).
     pub fn generate(&self) -> KernelProgram {
+        if let Some(mb) = self.micro {
+            return crate::microbench::generate(mb, &self.mapper, self.scale, self.seed);
+        }
         let sms = self.scale.num_sms();
         let warps = self.scale.warps_per_sm();
         let mut programs = Vec::with_capacity(sms);

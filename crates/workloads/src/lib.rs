@@ -19,7 +19,9 @@
 //! stay inside the paper's reported ranges.
 
 pub mod gen;
+pub mod microbench;
 pub mod profile;
 
 pub use gen::{benchmark, BenchmarkGen, Scale};
+pub use microbench::{Microbench, MICROBENCHES};
 pub use profile::{BenchProfile, IRREGULAR, REGULAR};

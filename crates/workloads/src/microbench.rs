@@ -1,0 +1,545 @@
+//! Pointer-chase calibration microbenchmarks (`mb_*`).
+//!
+//! Unlike the Table III profiles, which *statistically* reproduce a
+//! benchmark's memory behaviour, these kernels are constructed so each load
+//! lands in one known DRAM regime. Every load in this module is dependent —
+//! the SIMT core model blocks a warp on its outstanding load — so a chase of
+//! `n` loads measures `n` genuinely serialised round trips, exactly like the
+//! dependent-`LDG` chains GPU latency microbenchmarks use in hardware.
+//!
+//! The idle-machine kernels put work on a single warp (everything else in
+//! the grid is an empty program, `Done` from construction) so every access
+//! sees an unloaded memory system and its latency can be checked *exactly*
+//! against [`ldsim_types::analytic::AnalyticLatency`]:
+//!
+//! | kernel        | each measured load                       | pins        |
+//! |---------------|------------------------------------------|-------------|
+//! | `mb_serial`   | broadcast chase, fresh closed bank       | tRCD        |
+//! | `mb_rowhit`   | second column of a just-opened row       | tCAS        |
+//! | `mb_rowmiss`  | second row of a just-opened bank         | tRP         |
+//! | `mb_conflict` | 8 lanes on 8 rows of one bank (gap)      | tRC         |
+//! | `mb_l2hit`    | revisit of a line another SM primed      | xbar        |
+//! | `mb_bypass`   | same shape, run with `l2_bypass` on      | bypass path |
+//!
+//! `mb_broadcast` (all warps, per-warp broadcast chase) and `mb_random`
+//! (all warps, 32 random lines per load) are the *loaded* counterparts: no
+//! exact expectation exists, but their p50/p99 must land in bands derived
+//! from the same arithmetic.
+//!
+//! Addresses are found by deterministic search over the real
+//! [`AddressMapper`] (decode-and-filter), never by assuming the hash — so
+//! the kernels survive address-mapping changes as long as the mapper is
+//! honest about them.
+
+use crate::gen::Scale;
+use crate::profile::BenchProfile;
+use ldsim_types::addr::AddressMapper;
+use ldsim_types::kernel::{Instruction, KernelProgram, WarpProgram};
+use ldsim_util::rng::StdRng;
+
+const LINE: u64 = 128;
+/// Working set for the loaded (random/broadcast) kernels.
+const LOADED_WS: u64 = 64 << 20;
+
+type Build = fn(&AddressMapper, Scale, u64) -> Vec<Vec<WarpProgram>>;
+
+/// One calibration microbenchmark: a placeholder profile (so the rest of
+/// the stack can treat it like any benchmark) plus its kernel builder.
+#[derive(Debug)]
+pub struct Microbench {
+    pub profile: BenchProfile,
+    build: Build,
+}
+
+/// Placeholder profile for a microbenchmark. Only `name` (dispatch,
+/// cache keys, JSONL rows) and the descriptive stats fields matter; the
+/// generator below never consults the calibration targets. Kept out of
+/// [`crate::profile::IRREGULAR`]/[`REGULAR`](crate::profile::REGULAR) so
+/// the Table III suite statistics are untouched.
+const fn mb_profile(name: &'static str, divergent_frac: f64, clusters_mean: f64) -> BenchProfile {
+    BenchProfile {
+        name,
+        suite: "microbench",
+        divergent_frac,
+        clusters_mean,
+        same_row_bias: 0.0,
+        channel_bias: 0.0,
+        hot_frac: 0.0,
+        hot_bytes: 1 << 20,
+        working_set: LOADED_WS,
+        write_frac: 0.0,
+        compute_per_mem: 0,
+        burst_len: 1,
+        target_util: 0.1,
+        mem_insns_per_warp: 32,
+        irregular: false,
+    }
+}
+
+/// The calibration microbenchmark registry.
+pub static MICROBENCHES: [Microbench; 8] = [
+    Microbench {
+        profile: mb_profile("mb_serial", 0.0, 1.0),
+        build: build_serial,
+    },
+    Microbench {
+        profile: mb_profile("mb_rowhit", 0.0, 1.0),
+        build: build_rowhit,
+    },
+    Microbench {
+        profile: mb_profile("mb_rowmiss", 0.0, 1.0),
+        build: build_rowmiss,
+    },
+    Microbench {
+        profile: mb_profile("mb_conflict", 1.0, 8.0),
+        build: build_conflict,
+    },
+    Microbench {
+        profile: mb_profile("mb_broadcast", 0.0, 1.0),
+        build: build_broadcast,
+    },
+    Microbench {
+        profile: mb_profile("mb_random", 1.0, 32.0),
+        build: build_random,
+    },
+    Microbench {
+        profile: mb_profile("mb_l2hit", 0.0, 1.0),
+        build: build_revisit,
+    },
+    Microbench {
+        profile: mb_profile("mb_bypass", 0.0, 1.0),
+        build: build_revisit,
+    },
+];
+
+/// Look up a microbenchmark by name (case-insensitive, like the profile
+/// registry).
+pub fn find(name: &str) -> Option<&'static Microbench> {
+    MICROBENCHES
+        .iter()
+        .find(|m| m.profile.name.eq_ignore_ascii_case(name))
+}
+
+/// Generate the kernel grid for `mb` at the given scale and seed.
+pub fn generate(mb: &Microbench, mapper: &AddressMapper, scale: Scale, seed: u64) -> KernelProgram {
+    KernelProgram {
+        name: mb.profile.name.to_string(),
+        programs: (mb.build)(mapper, scale, seed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Address search: deterministic decode-and-filter over the real mapper.
+
+/// First line address for each of `n` distinct (channel, bank) pairs, in
+/// scan order. Every returned line is on a bank no other returned line
+/// touches, so a serial chase over them always finds its bank closed.
+fn lines_on_fresh_banks(mapper: &AddressMapper, n: usize) -> Vec<u64> {
+    let total = mapper.num_channels() * mapper.num_banks();
+    assert!(n <= total, "asked for {n} fresh banks, machine has {total}");
+    let mut seen: Vec<(u8, u8)> = Vec::with_capacity(n);
+    let mut lines = Vec::with_capacity(n);
+    let mut l = 0u64;
+    while lines.len() < n {
+        let d = mapper.decode(l * LINE);
+        let key = (d.channel.0, d.bank.0);
+        if !seen.contains(&key) {
+            seen.push(key);
+            lines.push(l);
+        }
+        l += 1;
+        assert!(l < 1 << 22, "bank search did not converge");
+    }
+    lines
+}
+
+/// `banks` groups of `rows` line addresses: within a group all lines share
+/// one (channel, bank) and each sits in a different row; no two groups
+/// share a bank. Scan order makes the result deterministic.
+fn bank_row_groups(mapper: &AddressMapper, banks: usize, rows: usize) -> Vec<Vec<u64>> {
+    let mut keys: Vec<(u8, u8)> = Vec::new();
+    let mut groups: Vec<Vec<(u32, u64)>> = Vec::new(); // (row, line)
+    let mut complete = 0usize;
+    let mut l = 0u64;
+    while complete < banks {
+        let d = mapper.decode(l * LINE);
+        let key = (d.channel.0, d.bank.0);
+        let gi = match keys.iter().position(|&k| k == key) {
+            Some(i) => i,
+            None => {
+                keys.push(key);
+                groups.push(Vec::with_capacity(rows));
+                groups.len() - 1
+            }
+        };
+        let g = &mut groups[gi];
+        if g.len() < rows && !g.iter().any(|&(r, _)| r == d.row) {
+            g.push((d.row, l));
+            if g.len() == rows {
+                complete += 1;
+            }
+        }
+        l += 1;
+        assert!(l < 1 << 24, "row search did not converge");
+    }
+    groups
+        .into_iter()
+        .filter(|g| g.len() == rows)
+        .take(banks)
+        .map(|g| g.into_iter().map(|(_, line)| line).collect())
+        .collect()
+}
+
+/// Another line of the same (channel, bank, row) as `line`, found via the
+/// mapper's row enumeration.
+fn row_buddy(mapper: &AddressMapper, line: u64) -> u64 {
+    mapper
+        .same_row_lines(line * LINE)
+        .into_iter()
+        .map(|byte| byte / LINE)
+        .find(|&b| b != line)
+        .expect("a 2 KiB row holds more than one 128 B line")
+}
+
+// ---------------------------------------------------------------------------
+// Kernel builders.
+
+/// A dependent broadcast chase: all 32 lanes load the same address, the
+/// warp blocks, then moves to the next line.
+fn chase(lines: &[u64]) -> WarpProgram {
+    WarpProgram::new(
+        lines
+            .iter()
+            .map(|&l| Instruction::load([l * LINE; 32]))
+            .collect(),
+    )
+}
+
+/// Grid with work only on (SM 0, warp 0); every other slot is an empty
+/// program, `Done` from construction, so the machine is otherwise idle.
+fn single_warp(scale: Scale, prog: WarpProgram) -> Vec<Vec<WarpProgram>> {
+    sparse_grid(scale, vec![((0, 0), prog)])
+}
+
+fn sparse_grid(
+    scale: Scale,
+    mut work: Vec<((usize, usize), WarpProgram)>,
+) -> Vec<Vec<WarpProgram>> {
+    (0..scale.num_sms())
+        .map(|sm| {
+            (0..scale.warps_per_sm())
+                .map(
+                    |warp| match work.iter().position(|((s, w), _)| (*s, *w) == (sm, warp)) {
+                        Some(i) => work.swap_remove(i).1,
+                        None => WarpProgram::new(Vec::new()),
+                    },
+                )
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-warp seed, FNV-1a over (name, seed, sm, warp) like the profile
+/// generators use — order-independent and stable.
+fn warp_seed(name: &str, seed: u64, sm: usize, warp: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    };
+    for byte in name.bytes() {
+        eat(byte as u64);
+    }
+    eat(seed);
+    eat(sm as u64);
+    eat(warp as u64);
+    h
+}
+
+/// Serial chase over fresh banks: every load is an idle closed-bank access
+/// (tRCD + tCAS), the baseline rung of the ladder.
+fn build_serial(m: &AddressMapper, scale: Scale, _seed: u64) -> Vec<Vec<WarpProgram>> {
+    let n = scale.mem_insns(64).min(90);
+    single_warp(scale, chase(&lines_on_fresh_banks(m, n)))
+}
+
+/// Open/hit pairs: the first load of a pair opens a fresh bank's row
+/// (closed-bank latency), the second reads another column of the *same*
+/// row — under the open-page policy an exact row hit (tCAS only).
+fn build_rowhit(m: &AddressMapper, scale: Scale, _seed: u64) -> Vec<Vec<WarpProgram>> {
+    let pairs = scale.mem_insns(48).min(90);
+    let lines: Vec<u64> = lines_on_fresh_banks(m, pairs)
+        .into_iter()
+        .flat_map(|open| [open, row_buddy(m, open)])
+        .collect();
+    single_warp(scale, chase(&lines))
+}
+
+/// Open/conflict pairs: the second load of each pair targets a *different
+/// row* of the bank the first just opened — precharge then activate
+/// (tRP + tRCD + tCAS), the row-miss rung.
+fn build_rowmiss(m: &AddressMapper, scale: Scale, _seed: u64) -> Vec<Vec<WarpProgram>> {
+    let pairs = scale.mem_insns(48).min(90);
+    let lines: Vec<u64> = bank_row_groups(m, pairs, 2).into_iter().flatten().collect();
+    single_warp(scale, chase(&lines))
+}
+
+/// Intra-warp bank conflict: each load's 32 lanes coalesce to 8 lines in 8
+/// different rows of one bank, so its DRAM completions must serialise at
+/// tRC spacing — first-to-last gap exactly 7 x tRC on an idle machine.
+fn build_conflict(m: &AddressMapper, scale: Scale, _seed: u64) -> Vec<Vec<WarpProgram>> {
+    let loads = scale.mem_insns(16);
+    let insns = bank_row_groups(m, loads, 8)
+        .into_iter()
+        .map(|rows| {
+            let mut addrs = [0u64; 32];
+            for (lane, a) in addrs.iter_mut().enumerate() {
+                // Four lanes per line so the coalescer sees 8 clusters.
+                *a = rows[lane / 4] * LINE + 4 * (lane % 4) as u64;
+            }
+            Instruction::load(addrs)
+        })
+        .collect();
+    single_warp(scale, WarpProgram::new(insns))
+}
+
+/// Loaded broadcast chase: every warp runs its own dependent broadcast
+/// chain over random distinct lines. Coalesced traffic, full machine —
+/// the loaded-latency distribution for convergent loads.
+fn build_broadcast(m: &AddressMapper, scale: Scale, seed: u64) -> Vec<Vec<WarpProgram>> {
+    let _ = m;
+    let n = scale.mem_insns(32);
+    (0..scale.num_sms())
+        .map(|sm| {
+            (0..scale.warps_per_sm())
+                .map(|warp| {
+                    let mut rng = StdRng::seed_from_u64(warp_seed("mb_broadcast", seed, sm, warp));
+                    let mut lines: Vec<u64> = Vec::with_capacity(n);
+                    while lines.len() < n {
+                        let l = rng.gen_range(0..LOADED_WS / LINE);
+                        if !lines.contains(&l) {
+                            lines.push(l);
+                        }
+                    }
+                    chase(&lines)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Loaded random chase: every warp's loads scatter all 32 lanes to random
+/// lines — maximal divergence, the paper's worst-case regime.
+fn build_random(m: &AddressMapper, scale: Scale, seed: u64) -> Vec<Vec<WarpProgram>> {
+    let _ = m;
+    let n = scale.mem_insns(16);
+    (0..scale.num_sms())
+        .map(|sm| {
+            (0..scale.warps_per_sm())
+                .map(|warp| {
+                    let mut rng = StdRng::seed_from_u64(warp_seed("mb_random", seed, sm, warp));
+                    let insns = (0..n)
+                        .map(|_| {
+                            let mut addrs = [0u64; 32];
+                            for a in addrs.iter_mut() {
+                                *a = rng.gen_range(0..LOADED_WS / LINE) * LINE;
+                            }
+                            Instruction::load(addrs)
+                        })
+                        .collect();
+                    WarpProgram::new(insns)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Prime/probe revisit: SM 0's warp chases a line list (filling the L2);
+/// SM 1's warp waits out the primer, then chases the *same* list. With the
+/// L2 on, every probe is an exact L2 hit (crossbar-only latency). With
+/// `l2_bypass` set, probes go to DRAM and find the primed rows still open
+/// — exact row hits — which is how the validate bin proves the bypass knob
+/// actually bypasses.
+fn build_revisit(m: &AddressMapper, scale: Scale, _seed: u64) -> Vec<Vec<WarpProgram>> {
+    assert!(scale.num_sms() >= 2, "revisit kernels need two SMs");
+    let p = scale.mem_insns(24);
+    let lines = lines_on_fresh_banks(m, p);
+    let mut probe = chase(&lines).insns;
+    // Generous bound on the primer's runtime: p dependent idle round trips
+    // are a few hundred cycles each.
+    let delay = p as u32 * 1000 + 2000;
+    probe.insert(0, Instruction::Delay(delay));
+    // Delay(n) retires n instruction-equivalents, so the runner's 70%
+    // instruction budget would otherwise trip the moment the delay retires
+    // — before a single probe load. A compute tail after the probes puts
+    // every real load inside the first 70% of the kernel's instructions;
+    // the budget then cuts the tail, never the measurement.
+    probe.push(Instruction::Compute(delay + 2 * p as u32));
+    sparse_grid(
+        scale,
+        vec![((0, 0), chase(&lines)), ((1, 0), WarpProgram::new(probe))],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::benchmark;
+    use ldsim_types::config::MemConfig;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(&MemConfig::default(), 128)
+    }
+
+    fn loads_of(prog: &WarpProgram) -> Vec<&Instruction> {
+        prog.insns
+            .iter()
+            .filter(|i| matches!(i, Instruction::Load { .. }))
+            .collect()
+    }
+
+    fn only_line(i: &Instruction) -> u64 {
+        match i {
+            Instruction::Load { addrs, .. } => {
+                let lines: Vec<u64> = addrs.iter().map(|a| a / LINE).collect();
+                assert!(lines.iter().all(|&l| l == lines[0]), "not a broadcast load");
+                lines[0]
+            }
+            _ => panic!("not a load"),
+        }
+    }
+
+    #[test]
+    fn dispatches_through_the_benchmark_registry() {
+        let k = benchmark("mb_serial", Scale::Tiny, 1).generate();
+        assert_eq!(k.name, "mb_serial");
+        assert_eq!(k.programs.len(), 2);
+        assert_eq!(k.programs[0].len(), 4);
+        // Only (0,0) carries work; the rest of the grid is empty.
+        assert!(k.programs[0][0].num_loads() > 0);
+        assert!(k.programs[0][1].insns.is_empty());
+        assert!(k.programs[1][0].insns.is_empty());
+    }
+
+    #[test]
+    fn microbench_names_do_not_shadow_profiles() {
+        for mb in &MICROBENCHES {
+            assert!(
+                crate::profile::find(mb.profile.name).is_none(),
+                "{} collides with a Table III profile",
+                mb.profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn serial_chase_touches_each_bank_once() {
+        let m = mapper();
+        let k = benchmark("mb_serial", Scale::Small, 1).generate();
+        let loads = loads_of(&k.programs[0][0]);
+        assert_eq!(loads.len(), 32);
+        let mut banks: Vec<(u8, u8)> = Vec::new();
+        for l in &loads {
+            let d = m.decode(only_line(l) * LINE);
+            let key = (d.channel.0, d.bank.0);
+            assert!(!banks.contains(&key), "bank revisited: {key:?}");
+            banks.push(key);
+        }
+    }
+
+    #[test]
+    fn rowhit_pairs_share_a_row_rowmiss_pairs_do_not() {
+        let m = mapper();
+        let hit = benchmark("mb_rowhit", Scale::Tiny, 1).generate();
+        for pair in loads_of(&hit.programs[0][0]).chunks(2) {
+            let a = m.decode(only_line(pair[0]) * LINE);
+            let b = m.decode(only_line(pair[1]) * LINE);
+            assert!(a.same_row(&b), "rowhit pair split across rows");
+            assert_ne!(a.col, b.col, "rowhit pair must change column");
+        }
+        let miss = benchmark("mb_rowmiss", Scale::Tiny, 1).generate();
+        for pair in loads_of(&miss.programs[0][0]).chunks(2) {
+            let a = m.decode(only_line(pair[0]) * LINE);
+            let b = m.decode(only_line(pair[1]) * LINE);
+            assert_eq!((a.channel, a.bank), (b.channel, b.bank));
+            assert_ne!(a.row, b.row, "rowmiss pair must change rows");
+        }
+    }
+
+    #[test]
+    fn conflict_loads_hit_eight_rows_of_one_bank() {
+        let m = mapper();
+        let k = benchmark("mb_conflict", Scale::Tiny, 1).generate();
+        let loads = loads_of(&k.programs[0][0]);
+        assert_eq!(loads.len(), 4);
+        for l in loads {
+            let Instruction::Load { addrs, .. } = l else {
+                unreachable!()
+            };
+            let mut lines: Vec<u64> = addrs.iter().map(|a| a / LINE).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            assert_eq!(lines.len(), 8, "must coalesce to 8 lines");
+            let ds: Vec<_> = lines.iter().map(|&l| m.decode(l * LINE)).collect();
+            let mut rows: Vec<u32> = ds.iter().map(|d| d.row).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            assert_eq!(rows.len(), 8, "8 distinct rows");
+            assert!(
+                ds.iter()
+                    .all(|d| (d.channel, d.bank) == (ds[0].channel, ds[0].bank)),
+                "conflict lines must share one bank"
+            );
+        }
+    }
+
+    #[test]
+    fn revisit_probe_replays_the_primer_lines_after_a_delay() {
+        let k = benchmark("mb_l2hit", Scale::Tiny, 1).generate();
+        let primer: Vec<u64> = loads_of(&k.programs[0][0])
+            .iter()
+            .map(|l| only_line(l))
+            .collect();
+        let probe_prog = &k.programs[1][0];
+        assert!(matches!(probe_prog.insns[0], Instruction::Delay(n) if n >= 1000));
+        let probe: Vec<u64> = loads_of(probe_prog).iter().map(|l| only_line(l)).collect();
+        assert_eq!(primer, probe, "probe must revisit the primed lines");
+        // The compute tail must keep every real load inside the runner's
+        // 70% instruction budget — without it the budget trips the moment
+        // the delay retires, before a single probe load (see build_revisit).
+        let tail = match probe_prog.insns.last() {
+            Some(Instruction::Compute(n)) => *n as u64,
+            other => panic!("probe must end in a compute tail, got {other:?}"),
+        };
+        assert!(
+            k.total_instructions() - tail <= k.total_instructions() * 7 / 10,
+            "probe loads must retire inside the instruction budget"
+        );
+        // mb_bypass shares the kernel shape; only the config knob differs.
+        let b = benchmark("mb_bypass", Scale::Tiny, 1).generate();
+        assert_eq!(b.programs[0][0], k.programs[0][0]);
+    }
+
+    #[test]
+    fn loaded_kernels_fill_the_grid_and_respond_to_seeds() {
+        let a = benchmark("mb_random", Scale::Tiny, 1).generate();
+        assert!(a
+            .programs
+            .iter()
+            .all(|sm| sm.iter().all(|w| w.num_loads() > 0)));
+        let b = benchmark("mb_random", Scale::Tiny, 1).generate();
+        assert_eq!(a.programs, b.programs, "same seed, same kernel");
+        let c = benchmark("mb_random", Scale::Tiny, 2).generate();
+        assert_ne!(a.programs, c.programs, "seed must matter");
+        let bc = benchmark("mb_broadcast", Scale::Tiny, 1).generate();
+        for sm in &bc.programs {
+            for w in sm {
+                let mut lines: Vec<u64> = loads_of(w).iter().map(|l| only_line(l)).collect();
+                let n = lines.len();
+                lines.sort_unstable();
+                lines.dedup();
+                assert_eq!(lines.len(), n, "broadcast chase lines must be distinct");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property test: the closed-form idle-latency arithmetic and the
+//! simulator agree *exactly* for random legal timing configurations.
+//!
+//! `AnalyticLatency` computes a dependent load's idle closed-bank latency
+//! from config knobs alone; the simulator derives it from its pipeline and
+//! the DRAM state machines. Fuzzing the knobs and demanding exact equality
+//! (with the independent `TimingAuditor` armed) catches silent
+//! timing-model edits that any single golden value would miss — whichever
+//! side drifts, the equality breaks.
+
+use ldsim::types::analytic::AnalyticLatency;
+use ldsim::types::{Instruction, KernelProgram, SimConfig, WarpProgram};
+use ldsim::util::rng::StdRng;
+use ldsim_system::Simulator;
+
+/// One-load kernel on a single-SM machine: the purest idle access.
+fn one_load_kernel() -> KernelProgram {
+    KernelProgram {
+        name: "analytic-probe".to_string(),
+        programs: vec![vec![WarpProgram::new(vec![Instruction::load([0u64; 32])])]],
+    }
+}
+
+fn random_legal_config(rng: &mut StdRng) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // Bank timings, nanoseconds at the datasheet granularity. tRAS and tRC
+    // are derived so the set stays self-consistent (tRC = tRAS + tRP,
+    // tRAS >= tRCD + CAS-to-data) and the auditor's legality rules hold.
+    let rcd = rng.gen_range(6u64..=20) as f64;
+    let rp = rng.gen_range(6u64..=20) as f64;
+    let cas = rng.gen_range(6u64..=20) as f64;
+    cfg.mem.timing.t_rcd_ns = rcd;
+    cfg.mem.timing.t_rp_ns = rp;
+    cfg.mem.timing.t_cas_ns = cas;
+    cfg.mem.timing.t_ras_ns = rcd + cas + rng.gen_range(0u64..=10) as f64;
+    cfg.mem.timing.t_rc_ns = cfg.mem.timing.t_ras_ns + rp;
+    // Pipeline knobs on the GPU side.
+    cfg.gpu.xbar_latency = rng.gen_range(5u64..=60);
+    cfg.gpu.l2_slice.latency = rng.gen_range(4u64..=40);
+    // Data transfer size.
+    cfg.mem.timing.t_burst_ck = rng.gen_range(1u64..=4);
+    cfg.mem.bursts_per_access = rng.gen_range(1u64..=4);
+    // Idle-exactness conditions: no refresh mid-probe, auditor armed.
+    cfg.mem.refresh_enabled = false;
+    cfg.audit = true;
+    cfg.gpu.num_sms = 1;
+    cfg
+}
+
+#[test]
+fn analytic_idle_latency_matches_simulation_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x1d51_0a7e);
+    for trial in 0..24 {
+        let cfg = random_legal_config(&mut rng);
+        let a = AnalyticLatency::from_config(&cfg);
+        let (res, records) = Simulator::new(cfg.clone(), &one_load_kernel()).run_with_records();
+        assert!(res.audit_commands > 0, "trial {trial}: auditor saw nothing");
+        assert_eq!(res.audit_violations, 0, "trial {trial}: protocol violation");
+        assert_eq!(records.len(), 1, "trial {trial}: expected one load record");
+        assert_eq!(
+            records[0].effective_latency(),
+            a.dram_closed(),
+            "trial {trial}: simulated idle closed-bank latency diverged from \
+             the analytic formula (xbar={} l2={} tRCD={} tCAS={} burst={}x{})",
+            cfg.gpu.xbar_latency,
+            cfg.gpu.l2_slice.latency,
+            cfg.mem.timing.t_rcd_ns,
+            cfg.mem.timing.t_cas_ns,
+            cfg.mem.bursts_per_access,
+            cfg.mem.timing.t_burst_ck,
+        );
+    }
+}
