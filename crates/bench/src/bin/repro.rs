@@ -15,8 +15,9 @@
 //!
 //! `--cold` deletes the cell cache first; `--resume` is the default warm
 //! behaviour, spelled out (kept as an explicit flag so crash-recovery
-//! runbooks read naturally). `--hist` is rejected: distribution histograms
-//! do not round-trip through the cache — use the `histreport` binary.
+//! runbooks read naturally). The two contradict each other, so passing
+//! both is an error. `--hist` is rejected: distribution histograms do not
+//! round-trip through the cache — use the `histreport` binary.
 
 use ldsim_bench::figures::registry;
 use ldsim_system::sweep::{run_sweep, SweepConfig, ENGINE_SALT};
@@ -31,6 +32,7 @@ fn main() {
     let mut opts = RunOpts::default();
     let mut out = PathBuf::from("results");
     let mut cold = false;
+    let mut resume = false;
     let mut only: Option<Vec<String>> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -51,6 +53,7 @@ fn main() {
                 let n: usize = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
                     .expect("--jobs needs a positive number");
                 ldsim_util::set_jobs(Some(n));
             }
@@ -70,7 +73,8 @@ fn main() {
                 );
             }
             "--cold" => cold = true,
-            "--resume" => {} // warm start is the default; the flag documents intent
+            // Warm start is the default; the flag documents intent.
+            "--resume" => resume = true,
             "--audit" => opts.audit = true,
             "--trace" => opts.trace = true,
             "--hist" => panic!(
@@ -85,6 +89,11 @@ fn main() {
         }
         i += 1;
     }
+    assert!(
+        !(cold && resume),
+        "--cold and --resume contradict each other: --cold deletes the cell \
+         cache, --resume asks to warm-start from it — pass one or the other"
+    );
     ldsim_system::set_run_opts(opts);
 
     let mut specs = registry(scale, seed);

@@ -16,7 +16,7 @@ use ldsim_system::runner::{irregular_names, regular_names, PAPER_SCHEDULERS};
 use ldsim_system::sweep::{Cell, CellStore, CfgTweak, FigureSpec};
 use ldsim_system::table::{f2, f3, pct, Table};
 use ldsim_system::RunResult;
-use ldsim_types::config::SchedulerKind;
+use ldsim_types::config::{Preset, SchedulerKind};
 use ldsim_types::stats::{geomean, mean};
 use ldsim_workloads::Scale;
 use std::path::Path;
@@ -47,6 +47,7 @@ pub fn registry(scale: Scale, seed: u64) -> Vec<FigureSpec> {
         ablation(scale, seed),
         calibration(scale, seed),
         microbench(scale, seed),
+        backends(scale, seed),
     ]
 }
 
@@ -1119,6 +1120,75 @@ fn microbench(scale: Scale, seed: u64) -> FigureSpec {
             println!("Microbenchmark latency regimes (GMC, default machine)\n");
             t.print();
             dump_json_to(dir, "microbench", scale, seed, &fetch(store, &cells));
+        }),
+    }
+}
+
+/// Does WG-W still win off the Table II machine? Two representative
+/// irregular benchmarks under GMC and WG-W on every DRAM backend preset.
+/// The preset rides in as an ordinary [`CfgTweak::Backend`] cell dimension
+/// — the `gddr5` cells dedupe against the fig08 grid in a full sweep.
+fn backends(scale: Scale, seed: u64) -> FigureSpec {
+    let benches = ["bfs", "spmv"];
+    let kinds = [SchedulerKind::Gmc, SchedulerKind::WgW];
+    let mut cells = Vec::with_capacity(benches.len() * Preset::ALL.len() * kinds.len());
+    for &b in &benches {
+        for &p in &Preset::ALL {
+            for &k in &kinds {
+                cells.push(Cell::new(b, scale, seed, k).with_tweak(CfgTweak::Backend(p)));
+            }
+        }
+    }
+    FigureSpec {
+        name: "backends",
+        cells: cells.clone(),
+        render: Box::new(move |store, dir| {
+            let mut t = Table::new(&[
+                "benchmark",
+                "backend",
+                "WG-W/GMC",
+                "GMC row-hit",
+                "GMC bus util",
+            ]);
+            for &b in &benches {
+                for &p in &Preset::ALL {
+                    let gmc = store.get(
+                        &Cell::new(b, scale, seed, SchedulerKind::Gmc)
+                            .with_tweak(CfgTweak::Backend(p)),
+                    );
+                    let wgw = store.get(
+                        &Cell::new(b, scale, seed, SchedulerKind::WgW)
+                            .with_tweak(CfgTweak::Backend(p)),
+                    );
+                    t.row(vec![
+                        b.to_string(),
+                        p.name().to_string(),
+                        f3(speedup(b, wgw.ipc(), gmc.ipc())),
+                        pct(gmc.row_hit_rate),
+                        pct(gmc.bw_utilization),
+                    ]);
+                }
+            }
+            println!("Backends — WG-W vs GMC across DRAM presets\n");
+            t.print();
+            // Hand-rolled dump: each row carries its preset, which
+            // `RunResult::to_json` knows nothing about.
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                panic!("cannot create {}: {e}", dir.display());
+            }
+            let path = dir.join("backends.jsonl");
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            use std::io::Write as _;
+            for c in &cells {
+                let CfgTweak::Backend(p) = c.tweak else {
+                    unreachable!("every backends cell carries a Backend tweak");
+                };
+                let json = store.get(c).to_json();
+                let row = format!("{{\"preset\":\"{}\",{}", p.name(), &json[1..]);
+                writeln!(f, "{}", crate::stamp_row("backends", scale, seed, &row))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            }
         }),
     }
 }

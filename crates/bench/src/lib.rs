@@ -47,6 +47,7 @@ pub fn cli() -> (Scale, u64) {
                 let n: usize = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
                     .expect("--jobs needs a positive number");
                 ldsim_util::set_jobs(Some(n));
             }

@@ -22,7 +22,11 @@
 //!
 //! Everything here is deterministic, so `results/validate.jsonl` is
 //! byte-reproducible and CI diffs it against the committed
-//! `golden/validate_bands.jsonl`.
+//! `golden/validate_bands.jsonl`. The same property holds per DRAM backend:
+//! [`run_preset_ladder`] re-runs the idle exact checks on every
+//! [`Preset`] (kernels rebuilt against that preset's address mapper) and
+//! `results/validate_presets.jsonl` diffs against
+//! `golden/validate_presets.jsonl`.
 //!
 //! Runs use refresh disabled: a dependent chase spans several tREFI
 //! periods, and a refresh landing mid-chase would perturb the exact
@@ -32,9 +36,9 @@
 use ldsim_gpu::LoadRecord;
 use ldsim_system::{RunResult, Simulator};
 use ldsim_types::analytic::AnalyticLatency;
-use ldsim_types::config::SimConfig;
+use ldsim_types::config::{Preset, SimConfig};
 use ldsim_types::stats::Histogram;
-use ldsim_workloads::{benchmark, Scale};
+use ldsim_workloads::{benchmark, benchmark_with_mem, Scale};
 use std::path::{Path, PathBuf};
 
 /// One validation check's outcome.
@@ -42,6 +46,8 @@ use std::path::{Path, PathBuf};
 pub struct CheckRow {
     /// Stable check name (golden-file key).
     pub check: &'static str,
+    /// DRAM backend preset the check ran on.
+    pub preset: &'static str,
     /// The timing parameter (or path) this check pins.
     pub pins: &'static str,
     pub scale: &'static str,
@@ -105,6 +111,7 @@ fn exact(
     }
     CheckRow {
         check,
+        preset: "gddr5",
         pins,
         scale: scale_name(scale),
         lo: expect,
@@ -125,6 +132,7 @@ fn band(
 ) -> CheckRow {
     CheckRow {
         check,
+        preset: "gddr5",
         pins,
         scale: scale_name(scale),
         lo,
@@ -317,14 +325,97 @@ pub fn run_scale(scale: Scale) -> Vec<CheckRow> {
     rows
 }
 
+/// The per-preset validation configuration: the preset's device description
+/// over the default controller, refresh off, auditor armed — the exact
+/// analogue of [`validate_config`] for a non-default backend.
+pub fn preset_config(p: Preset) -> SimConfig {
+    let mut cfg = SimConfig::default().with_preset(p);
+    cfg.mem.refresh_enabled = false;
+    cfg.audit = true;
+    cfg
+}
+
+/// The idle latency ladder on one DRAM backend preset, checked exactly
+/// (lo == hi) against [`AnalyticLatency`] closed forms under the armed
+/// protocol auditor. The microbench kernels are rebuilt against the
+/// preset's *own* address mapper ([`benchmark_with_mem`]), so a constructed
+/// row hit or 8-way bank conflict lands where that backend says it does.
+/// Always Tiny scale: idle-machine checks are scale-invariant.
+pub fn run_preset_ladder(p: Preset) -> Vec<CheckRow> {
+    let scale = Scale::Tiny;
+    let cfg = preset_config(p);
+    let a = AnalyticLatency::from_config(&cfg);
+    let run = |name: &str| -> Vec<LoadRecord> {
+        let kernel = benchmark_with_mem(name, scale, 1, &cfg.mem).generate();
+        let (res, recs) = Simulator::new(cfg.clone(), &kernel).run_with_records();
+        assert_eq!(
+            res.audit_violations,
+            0,
+            "{name}@{}: DRAM protocol violations under the timing auditor",
+            p.name()
+        );
+        assert!(!recs.is_empty(), "{name}@{}: no load records", p.name());
+        recs
+    };
+    let mut rows = Vec::new();
+
+    let recs = run("mb_serial");
+    rows.push(exact(
+        "serial_closed_bank",
+        "tRCD",
+        scale,
+        a.dram_closed(),
+        recs.iter().map(eff),
+    ));
+
+    let recs = run("mb_rowhit");
+    rows.push(exact(
+        "rowhit_open_row",
+        "tCAS",
+        scale,
+        a.dram_row_hit(),
+        recs.iter().skip(1).step_by(2).map(eff),
+    ));
+
+    let recs = run("mb_rowmiss");
+    rows.push(exact(
+        "rowmiss_precharge",
+        "tRP",
+        scale,
+        a.dram_row_miss(),
+        recs.iter().skip(1).step_by(2).map(eff),
+    ));
+
+    let recs = run("mb_conflict");
+    rows.push(exact(
+        "conflict_gap",
+        "tRC",
+        scale,
+        a.conflict_gap(8),
+        recs.iter().map(|r| r.dram_gap()),
+    ));
+    rows.push(exact(
+        "conflict_total",
+        "tRC",
+        scale,
+        a.dram_closed() + a.conflict_gap(8),
+        recs.iter().map(eff),
+    ));
+
+    for r in &mut rows {
+        r.preset = p.name();
+    }
+    rows
+}
+
 /// Render rows as JSONL (deterministic field order; no timestamps, so the
 /// output is byte-comparable against the committed golden file).
 pub fn to_jsonl(rows: &[CheckRow]) -> String {
     let mut out = String::new();
     for r in rows {
         out.push_str(&format!(
-            "{{\"check\":\"{}\",\"scale\":\"{}\",\"pins\":\"{}\",\"lo\":{},\"hi\":{},\"measured\":{},\"pass\":{}}}\n",
-            r.check, r.scale, r.pins, r.lo, r.hi, r.measured, r.pass
+            "{{\"check\":\"{}\",\"preset\":\"{}\",\"scale\":\"{}\",\"pins\":\"{}\",\"lo\":{},\"hi\":{},\"measured\":{},\"pass\":{}}}\n",
+            r.check, r.preset, r.scale, r.pins, r.lo, r.hi, r.measured, r.pass
         ));
     }
     out
@@ -354,21 +445,28 @@ pub fn standalone_main() {
     for s in scales {
         rows.extend(run_scale(s));
     }
+    // The per-preset idle ladders always run (Tiny-only, cheap): one exact
+    // lo==hi block per DRAM backend, written to its own golden-diffed file.
+    let mut preset_rows = Vec::new();
+    for p in Preset::ALL {
+        preset_rows.extend(run_preset_ladder(p));
+    }
 
     println!(
-        "{:<32} {:<6} {:<20} {:>14} {:>9}  status",
-        "check", "scale", "pins", "band", "measured"
+        "{:<32} {:<6} {:<6} {:<20} {:>14} {:>9}  status",
+        "check", "preset", "scale", "pins", "band", "measured"
     );
     let mut failed = 0usize;
-    for r in &rows {
+    for r in rows.iter().chain(&preset_rows) {
         let band = if r.lo == r.hi {
             format!("={}", r.lo)
         } else {
             format!("[{}, {}]", r.lo, r.hi)
         };
         println!(
-            "{:<32} {:<6} {:<20} {:>14} {:>9}  {}",
+            "{:<32} {:<6} {:<6} {:<20} {:>14} {:>9}  {}",
             r.check,
+            r.preset,
             r.scale,
             r.pins,
             band,
@@ -379,19 +477,22 @@ pub fn standalone_main() {
             failed += 1;
         }
     }
-    write_jsonl(&rows, &out);
+    write_jsonl(&rows, &preset_rows, &out);
     println!(
-        "{} checks, {} failed -> {}",
-        rows.len(),
+        "{} checks, {} failed -> {} + {}",
+        rows.len() + preset_rows.len(),
         failed,
-        out.join("validate.jsonl").display()
+        out.join("validate.jsonl").display(),
+        out.join("validate_presets.jsonl").display()
     );
     if failed > 0 {
         std::process::exit(1);
     }
 }
 
-fn write_jsonl(rows: &[CheckRow], dir: &Path) {
+fn write_jsonl(rows: &[CheckRow], preset_rows: &[CheckRow], dir: &Path) {
     std::fs::create_dir_all(dir).expect("create output directory");
     std::fs::write(dir.join("validate.jsonl"), to_jsonl(rows)).expect("write validate.jsonl");
+    std::fs::write(dir.join("validate_presets.jsonl"), to_jsonl(preset_rows))
+        .expect("write validate_presets.jsonl");
 }

@@ -43,7 +43,10 @@
 
 use crate::metrics::RunResult;
 use crate::runner::{run_one_kernel, run_opts, RunOpts};
-use ldsim_types::config::{PagePolicy, SchedulerKind, SimConfig};
+use ldsim_types::clock::ClockDomain;
+use ldsim_types::config::{
+    CacheConfig, GpuConfig, MemConfig, PagePolicy, Preset, SchedulerKind, SimConfig, TimingParams,
+};
 use ldsim_types::kernel::KernelProgram;
 use ldsim_util::{parallel_map, Fnv64, FnvHashMap};
 use std::io::Write as _;
@@ -82,6 +85,11 @@ pub enum CfgTweak {
     GmcMaxStreak(usize),
     /// Calibration: bypass the L2 slices (microbench `mb_bypass` cells).
     L2Bypass,
+    /// Run on a different DRAM backend (GDDR3/GDDR6/HBM device description
+    /// and command clock; controller policy knobs untouched). The preset is
+    /// an ordinary cell dimension: `Backend(Preset::Gddr5)` resolves to the
+    /// default machine and therefore dedupes against untweaked cells.
+    Backend(Preset),
 }
 
 impl CfgTweak {
@@ -100,6 +108,7 @@ impl CfgTweak {
             CfgTweak::ClosedPage => cfg.mem.page_policy = PagePolicy::Closed,
             CfgTweak::GmcMaxStreak(n) => cfg.mem.gmc_max_streak = n,
             CfgTweak::L2Bypass => cfg.gpu.l2_bypass = true,
+            CfgTweak::Backend(p) => p.apply(cfg),
         }
     }
 }
@@ -173,77 +182,137 @@ fn scale_ord(s: ldsim_workloads::Scale) -> u8 {
 /// kernel-derived `instruction_limit` — see the module docs). Any default
 /// change, tweak, or scheduler switch changes the fingerprint, so cached
 /// cells keyed on it self-invalidate.
+///
+/// Exhaustive *by construction*: every config struct is fully destructured
+/// (no `..` rest patterns), so adding a field to `SimConfig`, `GpuConfig`,
+/// `CacheConfig`, `MemConfig`, `TimingParams`, or `ClockDomain` without
+/// deciding how it fingerprints is a compile error (E0027), not a silent
+/// stale-cache hazard. The hash write order is frozen — it is the cache-key
+/// wire format; append new fields at the end of their section and bump
+/// [`ENGINE_SALT`] only if the *semantics* changed.
 pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    // `instruction_limit` is the one deliberate exclusion: the runner
+    // derives it deterministically from (benchmark, scale, seed), which the
+    // cell key already covers.
+    let SimConfig {
+        gpu,
+        mem,
+        scheduler,
+        perfect_coalescing,
+        max_cycles,
+        instruction_limit: _,
+        clock,
+        audit,
+        trace,
+        fast_forward,
+        hist,
+    } = cfg;
     let mut h = Fnv64::new();
     // GPU side.
-    let g = &cfg.gpu;
-    h.write_u64(g.num_sms as u64)
-        .write_u64(g.warp_size as u64)
-        .write_u64(g.max_warps_per_sm as u64)
-        .write_u64(g.xbar_latency)
-        .write_u64(g.xbar_queue as u64)
-        .write_u8(g.l2_bypass as u8);
-    for c in [&g.l1, &g.l2_slice] {
-        h.write_u64(c.size_bytes as u64)
-            .write_u64(c.line_bytes as u64)
-            .write_u64(c.ways as u64)
-            .write_u64(c.mshr_entries as u64)
-            .write_u64(c.latency);
+    let GpuConfig {
+        num_sms,
+        warp_size,
+        max_warps_per_sm,
+        l1,
+        l2_slice,
+        xbar_latency,
+        xbar_queue,
+        l2_bypass,
+    } = gpu;
+    h.write_u64(*num_sms as u64)
+        .write_u64(*warp_size as u64)
+        .write_u64(*max_warps_per_sm as u64)
+        .write_u64(*xbar_latency)
+        .write_u64(*xbar_queue as u64)
+        .write_u8(*l2_bypass as u8);
+    for c in [l1, l2_slice] {
+        let CacheConfig {
+            size_bytes,
+            line_bytes,
+            ways,
+            mshr_entries,
+            latency,
+        } = c;
+        h.write_u64(*size_bytes as u64)
+            .write_u64(*line_bytes as u64)
+            .write_u64(*ways as u64)
+            .write_u64(*mshr_entries as u64)
+            .write_u64(*latency);
     }
     // Memory side.
-    let m = &cfg.mem;
-    h.write_u64(m.num_channels as u64)
-        .write_u64(m.banks_per_channel as u64)
-        .write_u64(m.banks_per_group as u64)
-        .write_u64(m.row_bytes as u64)
-        .write_u64(m.read_queue as u64)
-        .write_u64(m.write_queue as u64)
-        .write_u64(m.write_hi as u64)
-        .write_u64(m.write_lo as u64)
-        .write_u64(m.coord_latency)
-        .write_u64(m.gmc_max_streak as u64)
-        .write_u64(m.gmc_age_threshold)
-        .write_u64(m.wgw_margin as u64)
-        .write_u64(m.bursts_per_access)
-        .write_u8(match m.page_policy {
+    let MemConfig {
+        num_channels,
+        banks_per_channel,
+        banks_per_group,
+        row_bytes,
+        read_queue,
+        write_queue,
+        write_hi,
+        write_lo,
+        timing,
+        coord_latency,
+        gmc_max_streak,
+        gmc_age_threshold,
+        wgw_margin,
+        bursts_per_access,
+        page_policy,
+        refresh_enabled,
+        reference_picks,
+    } = mem;
+    h.write_u64(*num_channels as u64)
+        .write_u64(*banks_per_channel as u64)
+        .write_u64(*banks_per_group as u64)
+        .write_u64(*row_bytes as u64)
+        .write_u64(*read_queue as u64)
+        .write_u64(*write_queue as u64)
+        .write_u64(*write_hi as u64)
+        .write_u64(*write_lo as u64)
+        .write_u64(*coord_latency)
+        .write_u64(*gmc_max_streak as u64)
+        .write_u64(*gmc_age_threshold)
+        .write_u64(*wgw_margin as u64)
+        .write_u64(*bursts_per_access)
+        .write_u8(match page_policy {
             PagePolicy::Open => 0,
             PagePolicy::Closed => 1,
         })
-        .write_u8(m.refresh_enabled as u8)
-        .write_u8(m.reference_picks as u8);
-    let t = &m.timing;
+        .write_u8(*refresh_enabled as u8)
+        .write_u8(*reference_picks as u8);
+    let TimingParams {
+        t_rc_ns,
+        t_rcd_ns,
+        t_rp_ns,
+        t_cas_ns,
+        t_ras_ns,
+        t_rrd_ns,
+        t_wtr_ns,
+        t_faw_ns,
+        t_rtp_ns,
+        t_wr_ns,
+        t_refi_ns,
+        t_rfc_ns,
+        t_wl_ck,
+        t_burst_ck,
+        t_rtrs_ck,
+        t_ccdl_ck,
+        t_ccds_ck,
+    } = timing;
     for ns in [
-        t.t_rc_ns,
-        t.t_rcd_ns,
-        t.t_rp_ns,
-        t.t_cas_ns,
-        t.t_ras_ns,
-        t.t_rrd_ns,
-        t.t_wtr_ns,
-        t.t_faw_ns,
-        t.t_rtp_ns,
-        t.t_wr_ns,
-        t.t_refi_ns,
-        t.t_rfc_ns,
+        t_rc_ns, t_rcd_ns, t_rp_ns, t_cas_ns, t_ras_ns, t_rrd_ns, t_wtr_ns, t_faw_ns, t_rtp_ns,
+        t_wr_ns, t_refi_ns, t_rfc_ns,
     ] {
-        h.write_f64(ns);
+        h.write_f64(*ns);
     }
-    for ck in [
-        t.t_wl_ck,
-        t.t_burst_ck,
-        t.t_rtrs_ck,
-        t.t_ccdl_ck,
-        t.t_ccds_ck,
-    ] {
-        h.write_u64(ck);
+    for ck in [t_wl_ck, t_burst_ck, t_rtrs_ck, t_ccdl_ck, t_ccds_ck] {
+        h.write_u64(*ck);
     }
     // Top level.
-    let (sched, alpha) = match cfg.scheduler {
+    let (sched, alpha) = match scheduler {
         SchedulerKind::Fcfs => (0u8, 0u8),
         SchedulerKind::FrFcfs => (1, 0),
         SchedulerKind::Gmc => (2, 0),
         SchedulerKind::Wafcfs => (3, 0),
-        SchedulerKind::Sbwas { alpha_q } => (4, alpha_q),
+        SchedulerKind::Sbwas { alpha_q } => (4, *alpha_q),
         SchedulerKind::Wg => (5, 0),
         SchedulerKind::WgM => (6, 0),
         SchedulerKind::WgBw => (7, 0),
@@ -253,15 +322,16 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
         SchedulerKind::AtlasLite => (11, 0),
         SchedulerKind::WgShared => (12, 0),
     };
+    let ClockDomain { tck_ns } = clock;
     h.write_u8(sched)
         .write_u8(alpha)
-        .write_u8(cfg.perfect_coalescing as u8)
-        .write_u64(cfg.max_cycles)
-        .write_f64(cfg.clock.tck_ns)
-        .write_u8(cfg.audit as u8)
-        .write_u8(cfg.trace as u8)
-        .write_u8(cfg.fast_forward as u8)
-        .write_u8(cfg.hist as u8);
+        .write_u8(*perfect_coalescing as u8)
+        .write_u64(*max_cycles)
+        .write_f64(*tck_ns)
+        .write_u8(*audit as u8)
+        .write_u8(*trace as u8)
+        .write_u8(*fast_forward as u8)
+        .write_u8(*hist as u8);
     h.finish()
 }
 
@@ -653,6 +723,136 @@ mod tests {
         let mut c = SimConfig::default();
         c.mem.reference_picks = true;
         assert_ne!(base, config_fingerprint(&c));
+    }
+
+    #[test]
+    fn backend_gddr5_dedupes_and_other_presets_split() {
+        // Backend(Gddr5) resolves to the default machine: same config, same
+        // key, no wasted simulation. Every other preset must split the key.
+        let opts = RunOpts::default();
+        let base = cell(SchedulerKind::Gmc);
+        assert_eq!(
+            base.key(opts),
+            base.with_tweak(CfgTweak::Backend(Preset::Gddr5)).key(opts)
+        );
+        for p in [Preset::Gddr3, Preset::Gddr6, Preset::Hbm] {
+            assert_ne!(
+                base.key(opts),
+                base.with_tweak(CfgTweak::Backend(p)).key(opts),
+                "{} must not collide with the default machine",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn presets_and_single_knobs_produce_distinct_fingerprints() {
+        // Property over the whole timing/topology grammar: any two distinct
+        // presets, and any single knob nudged off its default, must land on
+        // distinct fingerprints. A collision anywhere here is a silent
+        // stale-cache hazard.
+        use ldsim_types::config::parse_timing_string;
+        let mut prints: Vec<(String, u64)> =
+            vec![("default".into(), config_fingerprint(&SimConfig::default()))];
+        for p in Preset::ALL.iter().skip(1) {
+            prints.push((
+                p.name().to_string(),
+                config_fingerprint(&SimConfig::default().with_preset(*p)),
+            ));
+        }
+        // One single-key override per grammar knob, each off its default.
+        for s in [
+            "nch=5",
+            "nbk=8",
+            "nbkgrp=8",
+            "row=1024",
+            "bpa=4",
+            "CK=1.5",
+            "RC=41",
+            "RCD=13",
+            "RP=13",
+            "CL=13",
+            "RAS=29",
+            "RRD=6",
+            "WTR=6",
+            "FAW=24",
+            "RTP=3",
+            "WR=13",
+            "REFI=2000",
+            "RFC=120",
+            "WL=5",
+            "BL=4",
+            "RTRS=2",
+            "CCDL=4",
+            "CCDS=1",
+        ] {
+            let (mem, clock) = parse_timing_string(s).unwrap();
+            let cfg = SimConfig {
+                mem,
+                clock,
+                ..SimConfig::default()
+            };
+            prints.push((s.to_string(), config_fingerprint(&cfg)));
+        }
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(
+                    prints[i].1, prints[j].1,
+                    "fingerprint collision: {} vs {}",
+                    prints[i].0, prints[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preset_cells_partition_the_cache() {
+        // Same benchmark, same knobs, different DRAM backend: the preset
+        // dimension alone must partition the cell cache — a collision would
+        // serve GDDR5 numbers as HBM numbers. Pin it end to end through the
+        // JSONL file, like the microbench/CSR partition test below.
+        let _guard = crate::runner::test_opts_lock();
+        set_run_opts(RunOpts::default());
+        let opts = RunOpts::default();
+        let dir =
+            std::env::temp_dir().join(format!("ldsim-preset-partition-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cellcache.jsonl");
+        let cells: Vec<Cell> = Preset::ALL
+            .iter()
+            .map(|&p| cell(SchedulerKind::Gmc).with_tweak(CfgTweak::Backend(p)))
+            .collect();
+        let mut keys: Vec<u64> = cells.iter().map(|c| c.key(opts)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "preset keys must be distinct");
+
+        let cfg = SweepConfig {
+            cache_path: Some(&cache),
+            ..SweepConfig::default()
+        };
+        let (store, stats) = run_sweep(&cells, &cfg);
+        assert_eq!(stats.simulated, 4, "all four backends must simulate cold");
+        let text = std::fs::read_to_string(&cache).unwrap();
+        assert_eq!(text.lines().count(), 4, "one cache row per backend");
+
+        // Warm reload: each backend's row comes back under its own key.
+        let (store2, stats2) = run_sweep(&cells, &cfg);
+        assert_eq!(stats2.from_cache, 4);
+        assert_eq!(stats2.simulated, 0);
+        for c in &cells {
+            assert_eq!(store2.get(c), store.get(c), "warm row must be bit-exact");
+        }
+        // And the backends genuinely differ: at least one metric moves.
+        let lat: Vec<u64> = cells
+            .iter()
+            .map(|c| store.get(c).avg_effective_latency.round() as u64)
+            .collect();
+        assert!(
+            lat.windows(2).any(|w| w[0] != w[1]),
+            "different DRAM backends should not produce identical latencies: {lat:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!    * the bank index is XOR-ed with low-order row bits (the
 //!      permutation-based interleaving of Zhang et al. \[53\]).
 //!
-//! Decomposition pipeline for a byte address:
+//! Decomposition pipeline for a byte address (shown for the GDDR5 Table II
+//! geometry; every shift below is derived from the device config, so the
+//! same pipeline serves the GDDR3/GDDR6/HBM presets):
 //!
 //! ```text
 //! b = addr >> 8                      256 B block index
@@ -23,6 +25,16 @@
 //! row  = l[19:7]                     8192 rows per bank
 //! ```
 //!
+//! Generalised, with `R = row_bytes/256` blocks per row and `B` banks:
+//! `col = { l mod R , sub-block line }`, `bank = (l >> log2 R) XOR
+//! (l >> (log2 R + log2 B + log2 R)) mod B`, `row = (l >> (log2 R +
+//! log2 B)) mod 2^13`. The 256 B channel-interleave block and the 13 kept
+//! row bits are fixed across presets; everything else is config.
+//!
+//! The geometry round-trips through a small spec DSL
+//! ([`AddressMapper::spec`] / [`AddressMapper::from_spec`]), e.g. the
+//! default machine is `line=128:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13`.
+//!
 //! Because the channel index is a hash-plus-modulo, the map is not
 //! injective per channel (distinct blocks can alias onto the same
 //! (channel, bank, row, col)); a timing model only needs the forward map to
@@ -30,6 +42,11 @@
 
 use crate::config::MemConfig;
 use crate::ids::{BankId, ChannelId};
+
+/// Channel-interleave granularity (fixed across presets, per the paper).
+const BLOCK_SHIFT: u32 = 8;
+/// Number of row-address bits kept (8192 rows per bank on Table II).
+const ROW_BITS: u32 = 13;
 
 /// A fully decoded physical address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,7 +61,8 @@ pub struct DecodedAddr {
 }
 
 /// Decodes byte addresses into (channel, bank, row, column) using the
-/// paper's hashing scheme.
+/// paper's hashing scheme, parameterised by the device geometry in
+/// [`MemConfig`].
 ///
 /// ```
 /// use ldsim_types::addr::AddressMapper;
@@ -64,6 +82,12 @@ pub struct AddressMapper {
     banks_per_group: u64,
     /// log2(line size)
     line_shift: u32,
+    /// log2(lines per 256 B interleave block)
+    sub_bits: u32,
+    /// log2(256 B blocks per DRAM row)
+    bank_shift: u32,
+    /// log2(banks per channel)
+    bank_bits: u32,
     /// number of row bits kept
     row_mask: u32,
 }
@@ -71,13 +95,26 @@ pub struct AddressMapper {
 impl AddressMapper {
     pub fn new(mem: &MemConfig, line_bytes: usize) -> Self {
         assert!(line_bytes.is_power_of_two());
+        assert!(
+            line_bytes <= (1 << BLOCK_SHIFT),
+            "line must fit in the 256 B channel-interleave block"
+        );
         assert!(mem.banks_per_channel.is_power_of_two());
+        let blocks_per_row = mem.row_bytes >> BLOCK_SHIFT;
+        assert!(
+            blocks_per_row >= 1 && blocks_per_row.is_power_of_two(),
+            "row_bytes must be a power-of-two multiple of 256"
+        );
+        let line_shift = line_bytes.trailing_zeros();
         Self {
             num_channels: mem.num_channels as u64,
             num_banks: mem.banks_per_channel as u64,
             banks_per_group: mem.banks_per_group as u64,
-            line_shift: line_bytes.trailing_zeros(),
-            row_mask: 0x1FFF, // 8192 rows per bank (1.5 GB total)
+            line_shift,
+            sub_bits: BLOCK_SHIFT - line_shift,
+            bank_shift: blocks_per_row.trailing_zeros(),
+            bank_bits: mem.banks_per_channel.trailing_zeros(),
+            row_mask: (1 << ROW_BITS) - 1,
         }
     }
 
@@ -98,12 +135,15 @@ impl AddressMapper {
     /// Decode a byte address.
     #[inline]
     pub fn decode(&self, byte_addr: u64) -> DecodedAddr {
-        let b = byte_addr >> 8;
+        let b = byte_addr >> BLOCK_SHIFT;
         let channel = self.channel_of_block(b);
         let l = b / self.num_channels;
-        let col = ((((l & 0x7) as u16) << 1) | (((byte_addr >> 7) & 0x1) as u16)) & 0xF;
-        let bank = (((l >> 3) ^ (l >> 10)) & (self.num_banks - 1)) as u8;
-        let row = ((l >> 7) as u32) & self.row_mask;
+        let sub = (byte_addr >> self.line_shift) & ((1 << self.sub_bits) - 1);
+        let col = (((l & ((1 << self.bank_shift) - 1)) as u16) << self.sub_bits) | sub as u16;
+        let row_shift = self.bank_shift + self.bank_bits;
+        let bank = (((l >> self.bank_shift) ^ (l >> (row_shift + self.bank_shift)))
+            & (self.num_banks - 1)) as u8;
+        let row = ((l >> row_shift) as u32) & self.row_mask;
         DecodedAddr {
             channel: ChannelId(channel as u8),
             bank: BankId(bank),
@@ -117,21 +157,23 @@ impl AddressMapper {
     /// `byte_addr` — the other columns of its DRAM row. Used by the workload
     /// generators to synthesise intra-warp row locality. The channel hash is
     /// not invertible in closed form, so this searches the candidate blocks
-    /// (8 block-columns x C channel residues) and keeps those that land on
-    /// the original channel; typically 10–20 lines are found.
+    /// (block-columns x C channel residues) and keeps those that land on
+    /// the original channel.
     pub fn same_row_lines(&self, byte_addr: u64) -> Vec<u64> {
         let d = self.decode(byte_addr);
-        let b = byte_addr >> 8;
+        let b = byte_addr >> BLOCK_SHIFT;
         let l = b / self.num_channels;
-        let l_base = l & !0x7;
-        let mut out = Vec::with_capacity(16);
-        for v in 0..8u64 {
+        let blocks_per_row = 1u64 << self.bank_shift;
+        let lines_per_block = 1u64 << self.sub_bits;
+        let l_base = l & !(blocks_per_row - 1);
+        let mut out = Vec::with_capacity((blocks_per_row * lines_per_block) as usize);
+        for v in 0..blocks_per_row {
             let l2 = l_base | v;
             for r in 0..self.num_channels {
                 let b2 = l2 * self.num_channels + r;
                 if self.channel_of_block(b2) == d.channel.0 as u64 {
-                    for half in 0..2u64 {
-                        out.push((b2 << 8) | (half << 7));
+                    for sub in 0..lines_per_block {
+                        out.push((b2 << BLOCK_SHIFT) | (sub << self.line_shift));
                     }
                     break; // one block per block-column suffices
                 }
@@ -147,6 +189,84 @@ impl AddressMapper {
     pub fn num_banks(&self) -> usize {
         self.num_banks as usize
     }
+
+    /// Render the geometry as the canonical spec string, e.g. the Table II
+    /// machine is `line=128:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13`.
+    /// `parse(render(m)) == m` exactly ([`AddressMapper::from_spec`]).
+    pub fn spec(&self) -> String {
+        format!(
+            "line={}:blk={}:nch={}:nbk={}:grp={}:rowblks={}:rowbits={}",
+            1u64 << self.line_shift,
+            1u64 << BLOCK_SHIFT,
+            self.num_channels,
+            self.num_banks,
+            self.banks_per_group,
+            1u64 << self.bank_shift,
+            (self.row_mask + 1).trailing_zeros(),
+        )
+    }
+
+    /// Parse a spec string produced by [`AddressMapper::spec`]. All seven
+    /// keys must be present exactly once; `blk` must be 256 (the paper's
+    /// channel-interleave block is fixed) and the power-of-two keys are
+    /// validated.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        const KEYS: [&str; 7] = ["line", "blk", "nch", "nbk", "grp", "rowblks", "rowbits"];
+        let mut vals = [None::<u64>; 7];
+        for part in spec.split(':') {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("addr spec: '{part}' is not key=value"))?;
+            let idx = KEYS
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| format!("addr spec: unknown key '{key}'"))?;
+            if vals[idx].is_some() {
+                return Err(format!("addr spec: duplicate key '{key}'"));
+            }
+            let v: u64 = val
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("addr spec: {key}={val} is not a positive integer"))?;
+            vals[idx] = Some(v);
+        }
+        let get = |i: usize| vals[i].ok_or_else(|| format!("addr spec: missing key '{}'", KEYS[i]));
+        let (line, blk, nch, nbk, grp, rowblks, rowbits) = (
+            get(0)?,
+            get(1)?,
+            get(2)?,
+            get(3)?,
+            get(4)?,
+            get(5)?,
+            get(6)?,
+        );
+        if blk != 1 << BLOCK_SHIFT {
+            return Err(format!("addr spec: blk={blk} must be {}", 1 << BLOCK_SHIFT));
+        }
+        for (k, v) in [("line", line), ("nbk", nbk), ("rowblks", rowblks)] {
+            if !v.is_power_of_two() {
+                return Err(format!("addr spec: {k}={v} is not a power of two"));
+            }
+        }
+        if line > blk {
+            return Err(format!("addr spec: line={line} exceeds blk={blk}"));
+        }
+        if rowbits == 0 || rowbits > 31 {
+            return Err(format!("addr spec: rowbits={rowbits} out of range"));
+        }
+        let line_shift = line.trailing_zeros();
+        Ok(Self {
+            num_channels: nch,
+            num_banks: nbk,
+            banks_per_group: grp,
+            line_shift,
+            sub_bits: BLOCK_SHIFT - line_shift,
+            bank_shift: rowblks.trailing_zeros(),
+            bank_bits: nbk.trailing_zeros(),
+            row_mask: ((1u64 << rowbits) - 1) as u32,
+        })
+    }
 }
 
 impl DecodedAddr {
@@ -161,7 +281,7 @@ impl DecodedAddr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MemConfig;
+    use crate::config::{MemConfig, Preset};
 
     fn mapper() -> AddressMapper {
         AddressMapper::new(&MemConfig::default(), 128)
@@ -196,6 +316,29 @@ mod tests {
             assert!((d.bank.0 as usize) < 16);
             assert!((d.bank_group as usize) < 4);
             assert!(d.col < 16);
+        }
+    }
+
+    #[test]
+    fn generalised_decode_matches_legacy_gdd5_formulas() {
+        // The shifts are now derived from the config; this pins them to the
+        // hand-written Table II constants the cell cache was keyed on.
+        let m = mapper();
+        let mut x = 0xDEAD_BEEF_1234u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x & 0x7FFF_FFFF;
+            let d = m.decode(addr);
+            let b = addr >> 8;
+            let l = b / 6;
+            let col = ((((l & 0x7) as u16) << 1) | (((addr >> 7) & 0x1) as u16)) & 0xF;
+            let bank = (((l >> 3) ^ (l >> 10)) & 15) as u8;
+            let row = ((l >> 7) as u32) & 0x1FFF;
+            assert_eq!(d.col, col, "col diverged for {addr:#x}");
+            assert_eq!(d.bank.0, bank, "bank diverged for {addr:#x}");
+            assert_eq!(d.row, row, "row diverged for {addr:#x}");
         }
     }
 
@@ -289,5 +432,96 @@ mod tests {
         let a = m.decode(0x40_0000);
         let b = m.decode(0x40_0080);
         assert!(a.same_row(&b));
+    }
+
+    #[test]
+    fn spec_round_trips_for_every_preset() {
+        for p in Preset::ALL {
+            let (mem, _) = p.mem_and_clock();
+            let m = AddressMapper::new(&mem, 128);
+            let spec = m.spec();
+            let m2 =
+                AddressMapper::from_spec(&spec).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert_eq!(m, m2, "{} spec round trip: {spec}", p.name());
+            assert_eq!(m2.spec(), spec, "{} render not canonical", p.name());
+        }
+    }
+
+    #[test]
+    fn default_spec_is_the_documented_string() {
+        assert_eq!(
+            mapper().spec(),
+            "line=128:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13"
+        );
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in [
+            "line=128",                                                          // missing keys
+            "line=128:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13:x=1",      // unknown
+            "line=128:line=128:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13", // dup
+            "line=96:blk=256:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13",           // not pow2
+            "line=128:blk=512:nch=6:nbk=16:grp=4:rowblks=8:rowbits=13",          // blk fixed
+            "line=128:blk=256:nch=0:nbk=16:grp=4:rowblks=8:rowbits=13",          // zero
+        ] {
+            assert!(AddressMapper::from_spec(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn preset_mappers_decode_in_range_and_spread() {
+        for p in Preset::ALL {
+            let (mem, _) = p.mem_and_clock();
+            let m = AddressMapper::new(&mem, 128);
+            let cols_per_row = (mem.row_bytes / 128) as u16;
+            let groups = mem.banks_per_channel / mem.banks_per_group;
+            let mut chans = std::collections::HashSet::new();
+            let mut banks = std::collections::HashSet::new();
+            let mut x = 0x5DEE_CE66_ED51u64;
+            for _ in 0..20_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let d = m.decode(x & 0x3FFF_FFFF);
+                assert!((d.channel.0 as usize) < mem.num_channels, "{}", p.name());
+                assert!((d.bank.0 as usize) < mem.banks_per_channel, "{}", p.name());
+                assert!((d.bank_group as usize) < groups, "{}", p.name());
+                assert!(d.col < cols_per_row, "{}", p.name());
+                chans.insert(d.channel.0);
+                banks.insert(d.bank.0);
+            }
+            assert_eq!(
+                chans.len(),
+                mem.num_channels,
+                "{} channels unused",
+                p.name()
+            );
+            assert_eq!(
+                banks.len(),
+                mem.banks_per_channel,
+                "{} banks unused",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn preset_same_row_lines_share_the_row() {
+        for p in Preset::ALL {
+            let (mem, _) = p.mem_and_clock();
+            let m = AddressMapper::new(&mem, 128);
+            let addr = 0x40_0000u64;
+            let d = m.decode(addr);
+            let lines = m.same_row_lines(addr);
+            assert!(lines.len() >= 4, "{}: too few lines", p.name());
+            for a in lines {
+                assert!(
+                    m.decode(a).same_row(&d),
+                    "{}: {a:#x} left the row",
+                    p.name()
+                );
+            }
+        }
     }
 }

@@ -104,6 +104,14 @@ impl AnalyticLatency {
     pub fn conflict_gap(&self, k: u64) -> Cycle {
         k.saturating_sub(1) * self.bank_conflict_spacing()
     }
+
+    /// The ladder for a backend preset (GPU side at defaults). The same
+    /// closed forms serve every preset because the expressions only read
+    /// config knobs — the per-preset golden bands in `golden/` pin the
+    /// simulator against exactly these values.
+    pub fn for_preset(p: crate::config::Preset) -> Self {
+        Self::from_config(&SimConfig::default().with_preset(p))
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +158,58 @@ mod tests {
         // The crossbar feeds every regime, twice.
         assert_eq!(a.l2_hit(), base.l2_hit() + 10);
         assert_eq!(a.dram_closed(), base.dram_closed() + 10);
+    }
+
+    #[test]
+    fn gddr5_preset_ladder_equals_default_ladder() {
+        use crate::config::Preset;
+        assert_eq!(
+            AnalyticLatency::for_preset(Preset::Gddr5),
+            AnalyticLatency::from_config(&SimConfig::default())
+        );
+    }
+
+    #[test]
+    fn preset_ladders_match_hand_computed_cycles() {
+        use crate::config::Preset;
+        // pipeline_overhead = 2*40 + 24 + 2 = 106 on every preset (the GPU
+        // side is not part of the backend description). Bank timings below
+        // are ceil(ns / tCK); data_burst = bursts_per_access * tBURST.
+        let g3 = AnalyticLatency::for_preset(Preset::Gddr3);
+        // tCK=1.25: CL=10, RCD=12, RP=10, RC=35; 4 bursts x 2 tCK.
+        assert_eq!(g3.dram_row_hit(), 106 + 10 + 8);
+        assert_eq!(g3.dram_closed(), 106 + 12 + 10 + 8);
+        assert_eq!(g3.dram_row_miss(), 106 + 10 + 12 + 10 + 8);
+        assert_eq!(g3.bank_conflict_spacing(), 35);
+
+        let g6 = AnalyticLatency::for_preset(Preset::Gddr6);
+        // tCK=0.5: CL=28, RCD=28, RP=28, RC=90; 4 bursts x 2 tCK.
+        assert_eq!(g6.dram_row_hit(), 106 + 28 + 8);
+        assert_eq!(g6.dram_closed(), 106 + 28 + 28 + 8);
+        assert_eq!(g6.dram_row_miss(), 106 + 28 + 28 + 28 + 8);
+        assert_eq!(g6.bank_conflict_spacing(), 90);
+
+        let hbm = AnalyticLatency::for_preset(Preset::Hbm);
+        // tCK=1: CL=14, RCD=14, RP=14, RC=45; 4 bursts x 2 tCK.
+        assert_eq!(hbm.dram_row_hit(), 106 + 14 + 8);
+        assert_eq!(hbm.dram_closed(), 106 + 14 + 14 + 8);
+        assert_eq!(hbm.dram_row_miss(), 106 + 14 + 14 + 14 + 8);
+        assert_eq!(hbm.bank_conflict_spacing(), 45);
+    }
+
+    #[test]
+    fn every_preset_keeps_trc_equal_ras_plus_rp_in_cycles() {
+        // The conflict-gap golden checks assume the serialisation quantum is
+        // exactly tRC and that tRC never under-runs tRAS+tRP after rounding.
+        use crate::config::Preset;
+        for p in Preset::ALL {
+            let a = AnalyticLatency::for_preset(p);
+            assert_eq!(
+                a.t.t_rc,
+                a.t.t_ras + a.t.t_rp,
+                "{}: tRC != tRAS+tRP in cycles",
+                p.name()
+            );
+        }
     }
 }

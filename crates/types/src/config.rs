@@ -445,6 +445,263 @@ impl SimConfig {
     pub fn lines_per_row(&self) -> usize {
         self.mem.row_bytes / self.gpu.l2_slice.line_bytes
     }
+
+    /// Install a DRAM backend preset (see [`Preset::apply`] for exactly
+    /// which knobs a preset owns). `with_preset(Preset::Gddr5)` is the
+    /// identity on a default config.
+    pub fn with_preset(mut self, p: Preset) -> Self {
+        p.apply(&mut self);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config-driven hardware front end: the timing/topology string grammar and
+// the backend presets built on it.
+
+/// Canonical key order of the timing/topology string. Topology first, then
+/// the clock, then nanosecond-valued timings, then command-clock-valued
+/// timings — the same order [`render_timing_string`] emits and DESIGN.md §16
+/// documents.
+const TIMING_KEYS: [&str; 23] = [
+    "nch", "nbk", "nbkgrp", "row", "bpa", "CK", "RC", "RCD", "RP", "CL", "RAS", "RRD", "WTR",
+    "FAW", "RTP", "WR", "REFI", "RFC", "WL", "BL", "RTRS", "CCDL", "CCDS",
+];
+
+/// Render a DRAM device description as the canonical gpgpusim-style
+/// `key=value:key=value` string. Nanosecond-valued keys carry ns (as the
+/// datasheets specify them), `WL`/`BL`/`RTRS`/`CCDL`/`CCDS` carry whole
+/// command clocks, and `CK` is the clock period in ns. Rust's shortest
+/// round-trip `{}` float formatting makes `parse(render(x)) == x` exact.
+pub fn render_timing_string(mem: &MemConfig, clock: ClockDomain) -> String {
+    let t = &mem.timing;
+    let pairs: Vec<(&str, String)> = vec![
+        ("nch", mem.num_channels.to_string()),
+        ("nbk", mem.banks_per_channel.to_string()),
+        ("nbkgrp", mem.banks_per_group.to_string()),
+        ("row", mem.row_bytes.to_string()),
+        ("bpa", mem.bursts_per_access.to_string()),
+        ("CK", clock.tck_ns.to_string()),
+        ("RC", t.t_rc_ns.to_string()),
+        ("RCD", t.t_rcd_ns.to_string()),
+        ("RP", t.t_rp_ns.to_string()),
+        ("CL", t.t_cas_ns.to_string()),
+        ("RAS", t.t_ras_ns.to_string()),
+        ("RRD", t.t_rrd_ns.to_string()),
+        ("WTR", t.t_wtr_ns.to_string()),
+        ("FAW", t.t_faw_ns.to_string()),
+        ("RTP", t.t_rtp_ns.to_string()),
+        ("WR", t.t_wr_ns.to_string()),
+        ("REFI", t.t_refi_ns.to_string()),
+        ("RFC", t.t_rfc_ns.to_string()),
+        ("WL", t.t_wl_ck.to_string()),
+        ("BL", t.t_burst_ck.to_string()),
+        ("RTRS", t.t_rtrs_ck.to_string()),
+        ("CCDL", t.t_ccdl_ck.to_string()),
+        ("CCDS", t.t_ccds_ck.to_string()),
+    ];
+    debug_assert!(pairs.iter().map(|(k, _)| *k).eq(TIMING_KEYS));
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// Parse a gpgpusim-style timing/topology string (the format
+/// [`render_timing_string`] emits; keys may appear in any order). Keys not
+/// present keep the Table II GDDR5 defaults, so a string only needs to name
+/// what differs. Returns the device-level description: the [`MemConfig`]
+/// with its queue/scheduler knobs at defaults, plus the command-clock
+/// domain. Rejects unknown keys, duplicate keys, malformed values, and
+/// geometries the address mapper cannot serve (non-power-of-two banks or
+/// row blocks).
+pub fn parse_timing_string(s: &str) -> Result<(MemConfig, ClockDomain), String> {
+    let mut mem = MemConfig::default();
+    let mut clock = ClockDomain::GDDR5;
+    let mut seen: Vec<&str> = Vec::new();
+    for part in s.split(':') {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("timing string: '{part}' is not key=value"))?;
+        let key = TIMING_KEYS
+            .iter()
+            .copied()
+            .find(|k| *k == key)
+            .ok_or_else(|| format!("timing string: unknown key '{key}'"))?;
+        if seen.contains(&key) {
+            return Err(format!("timing string: duplicate key '{key}'"));
+        }
+        seen.push(key);
+        let ns = || -> Result<f64, String> {
+            val.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("timing string: {key}={val} is not a non-negative number"))
+        };
+        let int = || -> Result<u64, String> {
+            val.parse::<u64>()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("timing string: {key}={val} is not a positive integer"))
+        };
+        let t = &mut mem.timing;
+        match key {
+            "nch" => mem.num_channels = int()? as usize,
+            "nbk" => mem.banks_per_channel = int()? as usize,
+            "nbkgrp" => mem.banks_per_group = int()? as usize,
+            "row" => mem.row_bytes = int()? as usize,
+            "bpa" => mem.bursts_per_access = int()?,
+            "CK" => {
+                let v = ns()?;
+                if v <= 0.0 {
+                    return Err("timing string: CK must be positive".into());
+                }
+                clock = ClockDomain { tck_ns: v };
+            }
+            "RC" => t.t_rc_ns = ns()?,
+            "RCD" => t.t_rcd_ns = ns()?,
+            "RP" => t.t_rp_ns = ns()?,
+            "CL" => t.t_cas_ns = ns()?,
+            "RAS" => t.t_ras_ns = ns()?,
+            "RRD" => t.t_rrd_ns = ns()?,
+            "WTR" => t.t_wtr_ns = ns()?,
+            "FAW" => t.t_faw_ns = ns()?,
+            "RTP" => t.t_rtp_ns = ns()?,
+            "WR" => t.t_wr_ns = ns()?,
+            "REFI" => t.t_refi_ns = ns()?,
+            "RFC" => t.t_rfc_ns = ns()?,
+            "WL" => t.t_wl_ck = int()?,
+            "BL" => t.t_burst_ck = int()?,
+            "RTRS" => t.t_rtrs_ck = int()?,
+            "CCDL" => t.t_ccdl_ck = int()?,
+            "CCDS" => t.t_ccds_ck = int()?,
+            _ => unreachable!("key validated against TIMING_KEYS"),
+        }
+    }
+    if !mem.banks_per_channel.is_power_of_two() {
+        return Err(format!(
+            "timing string: nbk={} is not a power of two",
+            mem.banks_per_channel
+        ));
+    }
+    if mem.banks_per_channel % mem.banks_per_group != 0 {
+        return Err(format!(
+            "timing string: nbkgrp={} does not divide nbk={}",
+            mem.banks_per_group, mem.banks_per_channel
+        ));
+    }
+    if mem.row_bytes % 256 != 0 || !(mem.row_bytes / 256).is_power_of_two() {
+        return Err(format!(
+            "timing string: row={} must be a power-of-two multiple of the 256 B \
+             channel-interleave block",
+            mem.row_bytes
+        ));
+    }
+    Ok((mem, clock))
+}
+
+/// A DRAM backend preset: one complete machine description, selectable as
+/// an ordinary sweep dimension (`CfgTweak::Backend` in `ldsim-system`).
+///
+/// Each preset is *defined by* its committed timing/topology string — the
+/// string is the source of truth, [`Preset::mem_and_clock`] just parses it.
+/// Every preset keeps `tRC = tRAS + tRP` exactly (also in rounded cycles),
+/// so the bank-conflict serialisation quantum the validate suite pins is
+/// `tRC` on every backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// The paper's Table II machine: Hynix H5GQ1H24AFR-style GDDR5 on 6
+    /// channels of 16 banks (4 per bank group). Parsing this preset yields
+    /// exactly [`MemConfig::default`] + [`ClockDomain::GDDR5`], so selecting
+    /// it is the identity — and dedupes against untweaked sweep cells.
+    Gddr5,
+    /// QuadroFX5600-era GDDR3 (Samsung K4J52324QH-HC12 at 800 MHz, tCK =
+    /// 1.25 ns): 8 banks, no bank groups (flat tCCD), narrower 32 B bursts
+    /// (4 per 128 B line). Cycle-valued timings match the classic
+    /// gpgpusim.config: RCD=12, RAS=25, RP=10, RC=35, CL=10, RRD=8, WL=7.
+    Gddr3,
+    /// A GDDR6-class machine: 12 pseudo-channel-style channels at a 2 GHz
+    /// command clock (tCK = 0.5 ns), 32 B bursts, deeper bank groups
+    /// (tCCDL = 4 tCK).
+    Gddr6,
+    /// An HBM-class stack: 16 pseudo-channels at a 1 GHz command clock,
+    /// small 1 KB rows, short tRRD/tFAW (per-pseudo-channel activity is
+    /// cheap), 32 B bursts.
+    Hbm,
+}
+
+impl Preset {
+    pub const ALL: [Preset; 4] = [Preset::Gddr5, Preset::Gddr3, Preset::Gddr6, Preset::Hbm];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Gddr5 => "gddr5",
+            Preset::Gddr3 => "gddr3",
+            Preset::Gddr6 => "gddr6",
+            Preset::Hbm => "hbm",
+        }
+    }
+
+    /// Case-insensitive lookup by [`Preset::name`].
+    pub fn from_name(name: &str) -> Option<Preset> {
+        Preset::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The committed canonical timing/topology string. These are the
+    /// strings the round-trip lint pins: `render(parse(s)) == s` exactly.
+    pub fn timing_string(&self) -> &'static str {
+        match self {
+            Preset::Gddr5 => {
+                "nch=6:nbk=16:nbkgrp=4:row=2048:bpa=2:CK=0.667:RC=40:RCD=12:RP=12:CL=12:\
+                 RAS=28:RRD=5.5:WTR=5:FAW=23:RTP=2:WR=12:REFI=1900:RFC=110:WL=4:BL=2:\
+                 RTRS=1:CCDL=3:CCDS=2"
+            }
+            Preset::Gddr3 => {
+                "nch=6:nbk=8:nbkgrp=8:row=2048:bpa=4:CK=1.25:RC=43.75:RCD=15:RP=12.5:CL=12.5:\
+                 RAS=31.25:RRD=10:WTR=7.5:FAW=30:RTP=2.5:WR=13.75:REFI=1900:RFC=110:WL=7:BL=2:\
+                 RTRS=1:CCDL=2:CCDS=2"
+            }
+            Preset::Gddr6 => {
+                "nch=12:nbk=16:nbkgrp=4:row=2048:bpa=4:CK=0.5:RC=45:RCD=14:RP=14:CL=14:\
+                 RAS=31:RRD=5.5:WTR=5:FAW=22:RTP=2.5:WR=15:REFI=1900:RFC=110:WL=6:BL=2:\
+                 RTRS=1:CCDL=4:CCDS=2"
+            }
+            Preset::Hbm => {
+                "nch=16:nbk=16:nbkgrp=4:row=1024:bpa=4:CK=1:RC=45:RCD=14:RP=14:CL=14:\
+                 RAS=31:RRD=4:WTR=7:FAW=16:RTP=3:WR=15:REFI=3900:RFC=160:WL=3:BL=2:\
+                 RTRS=1:CCDL=3:CCDS=2"
+            }
+        }
+    }
+
+    /// Parse this preset's device description.
+    ///
+    /// # Panics
+    /// Never for the committed presets — the round-trip tests keep the
+    /// strings parsable.
+    pub fn mem_and_clock(&self) -> (MemConfig, ClockDomain) {
+        parse_timing_string(self.timing_string())
+            .unwrap_or_else(|e| panic!("preset {} has an invalid timing string: {e}", self.name()))
+    }
+
+    /// Install this backend into `cfg`: the DRAM *device* description
+    /// (topology, timing, burst width) and the command clock. Controller
+    /// policy knobs (queue depths, watermarks, GMC/WG parameters, page
+    /// policy, refresh switch) are deliberately untouched — they describe
+    /// the scheduler under test, not the memory device.
+    pub fn apply(&self, cfg: &mut SimConfig) {
+        let (mem, clock) = self.mem_and_clock();
+        cfg.mem.num_channels = mem.num_channels;
+        cfg.mem.banks_per_channel = mem.banks_per_channel;
+        cfg.mem.banks_per_group = mem.banks_per_group;
+        cfg.mem.row_bytes = mem.row_bytes;
+        cfg.mem.bursts_per_access = mem.bursts_per_access;
+        cfg.mem.timing = mem.timing;
+        cfg.clock = clock;
+    }
 }
 
 #[cfg(test)]
@@ -508,5 +765,134 @@ mod tests {
     fn lines_per_row() {
         let c = SimConfig::default();
         assert_eq!(c.lines_per_row(), 16);
+    }
+
+    #[test]
+    fn preset_strings_round_trip() {
+        // The round-trip lint: parse -> render -> parse must be the
+        // identity, and every committed preset string must already BE its
+        // own canonical render (so `timing_string()` is copy-pasteable).
+        for p in Preset::ALL {
+            let s = p.timing_string();
+            let (mem, clock) = parse_timing_string(s)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", p.name()));
+            let rendered = render_timing_string(&mem, clock);
+            assert_eq!(
+                rendered,
+                s,
+                "{}: committed string is not canonical",
+                p.name()
+            );
+            let (mem2, clock2) = parse_timing_string(&rendered).unwrap();
+            assert_eq!(mem, mem2, "{}: parse(render(x)) != x", p.name());
+            assert_eq!(clock, clock2, "{}: clock did not round-trip", p.name());
+        }
+    }
+
+    #[test]
+    fn gddr5_preset_is_exactly_the_default_machine() {
+        // The Table II machine *is* the gddr5 preset: selecting it must be
+        // the identity, so Backend(Gddr5) sweep cells dedupe against
+        // untweaked cells in the cell cache.
+        let (mem, clock) = Preset::Gddr5.mem_and_clock();
+        assert_eq!(mem, MemConfig::default());
+        assert_eq!(clock, ClockDomain::GDDR5);
+        let cfg = SimConfig::default().with_preset(Preset::Gddr5);
+        assert_eq!(cfg, SimConfig::default());
+    }
+
+    #[test]
+    fn render_of_default_is_the_gddr5_string() {
+        assert_eq!(
+            render_timing_string(&MemConfig::default(), ClockDomain::GDDR5),
+            Preset::Gddr5.timing_string()
+        );
+    }
+
+    #[test]
+    fn preset_cycle_conversions_match_datasheets() {
+        // gddr3: the classic QuadroFX5600 gpgpusim.config in cycles at
+        // tCK=1.25ns: RCD=12 RAS=25 RP=10 RC=35 CL=10 RRD=8 WTR=6 WR=11.
+        let (mem, clock) = Preset::Gddr3.mem_and_clock();
+        let t = mem.timing.in_cycles(clock);
+        assert_eq!(
+            (t.t_rcd, t.t_ras, t.t_rp, t.t_rc, t.t_cas, t.t_rrd, t.t_wtr, t.t_wr),
+            (12, 25, 10, 35, 10, 8, 6, 11)
+        );
+        assert_eq!(mem.banks_per_channel, 8);
+        assert_eq!(mem.banks_per_group, 8, "gddr3 has no bank groups");
+        assert_eq!(mem.bursts_per_access, 4, "32 B bursts: 4 per 128 B line");
+
+        // gddr6: 2 GHz command clock, deeper bank groups.
+        let (mem, clock) = Preset::Gddr6.mem_and_clock();
+        let t = mem.timing.in_cycles(clock);
+        assert_eq!((t.t_rcd, t.t_rp, t.t_cas, t.t_rc), (28, 28, 28, 90));
+        assert_eq!(t.t_ccdl, 4);
+        assert_eq!(mem.num_channels, 12);
+
+        // hbm: small rows, short activity window.
+        let (mem, clock) = Preset::Hbm.mem_and_clock();
+        let t = mem.timing.in_cycles(clock);
+        assert_eq!((t.t_rcd, t.t_rp, t.t_cas, t.t_rc), (14, 14, 14, 45));
+        assert_eq!((t.t_rrd, t.t_faw), (4, 16));
+        assert_eq!(mem.row_bytes, 1024);
+        assert_eq!(mem.num_channels, 16);
+    }
+
+    #[test]
+    fn preset_apply_preserves_controller_policy_knobs() {
+        // A preset describes the *device*; scheduler/queue policy under test
+        // must survive switching backends.
+        let mut cfg = SimConfig::default().with_scheduler(SchedulerKind::WgW);
+        cfg.mem.read_queue = 17;
+        cfg.mem.write_hi = 99;
+        cfg.mem.gmc_max_streak = 3;
+        cfg.mem.page_policy = PagePolicy::Closed;
+        cfg.mem.refresh_enabled = false;
+        let cfg = cfg.with_preset(Preset::Hbm);
+        assert_eq!(cfg.mem.read_queue, 17);
+        assert_eq!(cfg.mem.write_hi, 99);
+        assert_eq!(cfg.mem.gmc_max_streak, 3);
+        assert_eq!(cfg.mem.page_policy, PagePolicy::Closed);
+        assert!(!cfg.mem.refresh_enabled);
+        assert_eq!(cfg.scheduler, SchedulerKind::WgW);
+        assert_eq!(cfg.mem.num_channels, 16, "device side did switch");
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_name(p.name()), Some(p));
+            assert_eq!(Preset::from_name(&p.name().to_uppercase()), Some(p));
+        }
+        assert_eq!(Preset::from_name("ddr4"), None);
+    }
+
+    #[test]
+    fn timing_string_rejects_malformed_input() {
+        for bad in [
+            "nbk",             // not key=value
+            "speed=9000",      // unknown key
+            "nbk=8:nbk=8",     // duplicate key
+            "nbk=-8",          // not a positive integer
+            "RCD=fast",        // not a number
+            "CK=0",            // zero clock period
+            "nbk=12",          // not a power of two
+            "nbk=16:nbkgrp=3", // groups must divide banks
+            "row=384",         // not a power-of-two multiple of 256
+        ] {
+            assert!(parse_timing_string(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn timing_string_partial_override_keeps_defaults() {
+        // A string only needs to name what differs from Table II.
+        let (mem, clock) = parse_timing_string("nbk=8:RRD=8").unwrap();
+        assert_eq!(mem.banks_per_channel, 8);
+        assert_eq!(mem.timing.t_rrd_ns, 8.0);
+        assert_eq!(mem.num_channels, MemConfig::default().num_channels);
+        assert_eq!(mem.timing.t_rcd_ns, MemConfig::default().timing.t_rcd_ns);
+        assert_eq!(clock, ClockDomain::GDDR5);
     }
 }

@@ -19,9 +19,16 @@ use std::sync::Mutex;
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Cap the number of worker threads [`parallel_map`] uses. `Some(n)` caps
-/// at `n` (clamped to at least 1); `None` clears the override and falls
-/// back to `LDSIM_JOBS` / `available_parallelism`.
+/// at `n`; `None` clears the override and falls back to `LDSIM_JOBS` /
+/// `available_parallelism`. `Some(0)` is a caller bug — "zero workers" is
+/// meaningless and almost certainly meant `None` — so it debug-asserts;
+/// release builds clamp it to 1 as before.
 pub fn set_jobs(jobs: Option<usize>) {
+    debug_assert!(
+        jobs != Some(0),
+        "set_jobs(Some(0)): zero workers is meaningless — pass None to clear \
+         the override or Some(n >= 1) to cap it"
+    );
     JOBS_OVERRIDE.store(jobs.map_or(0, |n| n.max(1)), Ordering::Relaxed);
 }
 
@@ -113,7 +120,7 @@ mod tests {
         // test harness runs sibling tests concurrently.
         set_jobs(Some(3));
         assert_eq!(jobs(), 3);
-        set_jobs(Some(0)); // clamped to 1, not "unset"
+        set_jobs(Some(1));
         assert_eq!(jobs(), 1);
         let caller = std::thread::current().id();
         let ids = parallel_map(vec![0u8; 16], |_| std::thread::current().id());
@@ -123,6 +130,14 @@ mod tests {
         );
         set_jobs(None);
         assert!(jobs() >= 1);
+    }
+
+    // Guarded: `debug_assert!` compiles out under `--release` test runs.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "set_jobs(Some(0))")]
+    fn zero_jobs_is_rejected() {
+        set_jobs(Some(0));
     }
 
     #[test]

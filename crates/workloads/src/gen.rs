@@ -68,7 +68,17 @@ pub struct BenchmarkGen {
 /// # Panics
 /// On an unknown benchmark name — the registry is a fixed, documented set.
 pub fn benchmark(name: &str, scale: Scale, seed: u64) -> BenchmarkGen {
-    let mapper = AddressMapper::new(&MemConfig::default(), 128);
+    benchmark_with_mem(name, scale, seed, &MemConfig::default())
+}
+
+/// [`benchmark`] against an explicit device geometry: the generated address
+/// stream targets `mem`'s mapper instead of the default GDDR5 one. The
+/// per-preset validation ladders use this so a microbenchmark's
+/// constructed row hits/conflicts land where that backend's mapper says
+/// they do. Sweep cells deliberately do *not* — a sweep compares backends
+/// on one fixed address stream, keyed by (bench, scale, seed).
+pub fn benchmark_with_mem(name: &str, scale: Scale, seed: u64, mem: &MemConfig) -> BenchmarkGen {
+    let mapper = AddressMapper::new(mem, 128);
     if let Some(mb) = crate::microbench::find(name) {
         return BenchmarkGen {
             profile: &mb.profile,
