@@ -10,6 +10,15 @@
 //! * **reference** — the original scan-based picks, kept behind
 //!   `SimConfig::with_reference_picks(true)` for differential testing.
 //!
+//! Each row also times the intra-run partition pool (`sim_threads = 2`,
+//! DESIGN.md §17) against the serial epoch loop on the indexed build —
+//! `thread_speedup` > 1 means the pool wins on this host. The pool is
+//! bit-exact with serial, so the rep-determinism assertion doubles as a
+//! cross-thread-count determinism check. On single-core hosts (CI
+//! containers often are) the threaded rows measure pure barrier overhead;
+//! the row records `host_threads` so a reader can tell which regime
+//! produced it.
+//!
 //! Both modes run on the *current* build, so their ratio isolates the
 //! pick-path indexing alone. The overall PR-4 trajectory additionally
 //! includes the queue/hashing overhaul and the release-profile LTO tuning,
@@ -54,17 +63,38 @@ fn seed_baseline_small_s(bench: &str) -> Option<f64> {
     }
 }
 
-/// Median of `reps` timed runs of one (kernel, mode), after one warm-up.
-fn time_runs(kernel: &KernelProgram, kind: SchedulerKind, reference: bool, reps: usize) -> f64 {
+/// Thread count for the timed threaded rows: 2 keeps the pool meaningful
+/// on small CI hosts without oversubscribing them (the simulator caps at
+/// the partition count anyway).
+const TIMED_SIM_THREADS: usize = 2;
+
+/// Median of `reps` timed runs of one (kernel, mode, thread count), after
+/// one warm-up. `cycles_pin`, when given, asserts every rep simulates the
+/// exact same work — across reps *and* across thread counts.
+fn time_runs(
+    kernel: &KernelProgram,
+    kind: SchedulerKind,
+    reference: bool,
+    sim_threads: usize,
+    reps: usize,
+    cycles_pin: Option<u64>,
+) -> (f64, u64) {
     let make_cfg = || {
         let mut cfg = SimConfig::default()
             .with_scheduler(kind)
-            .with_reference_picks(reference);
+            .with_reference_picks(reference)
+            .with_sim_threads(sim_threads);
         cfg.instruction_limit = Some(kernel.total_instructions() * 7 / 10);
         cfg
     };
     let warm = Simulator::new(make_cfg(), kernel).run();
     assert!(warm.finished, "warm-up run did not finish");
+    if let Some(pin) = cycles_pin {
+        assert_eq!(
+            warm.cycles, pin,
+            "sim_threads={sim_threads} changed the simulated work — the pool must be bit-exact"
+        );
+    }
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
@@ -76,7 +106,7 @@ fn time_runs(kernel: &KernelProgram, kind: SchedulerKind, reference: bool, reps:
         );
     }
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    (samples[samples.len() / 2], warm.cycles)
 }
 
 fn main() {
@@ -91,15 +121,21 @@ fn main() {
         "indexed s/rep",
         "reference s/rep",
         "pick speedup",
+        "threaded s/rep",
+        "thread speedup",
         "seed baseline s",
         "total speedup",
     ]);
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut rows = Vec::new();
     for &bench in BUSY {
         let kernel = benchmark(bench, scale, seed).generate();
-        let indexed_s = time_runs(&kernel, kind, false, reps);
-        let reference_s = time_runs(&kernel, kind, true, reps);
+        let (indexed_s, cycles) = time_runs(&kernel, kind, false, 1, reps, None);
+        let (reference_s, _) = time_runs(&kernel, kind, true, 1, reps, None);
+        let (threaded_s, _) =
+            time_runs(&kernel, kind, false, TIMED_SIM_THREADS, reps, Some(cycles));
         let pick_speedup = reference_s / indexed_s;
+        let thread_speedup = indexed_s / threaded_s;
         let baseline = if scale == Scale::Small {
             seed_baseline_small_s(bench)
         } else {
@@ -111,6 +147,8 @@ fn main() {
             format!("{indexed_s:.4}"),
             format!("{reference_s:.4}"),
             format!("{pick_speedup:.2}x"),
+            format!("{threaded_s:.4}"),
+            format!("{thread_speedup:.2}x"),
             baseline.map_or("-".into(), |b| format!("{b:.4}")),
             total_speedup.map_or("-".into(), |s| format!("{s:.2}x")),
         ]);
@@ -118,7 +156,10 @@ fn main() {
         row.str("benchmark", bench)
             .f64("indexed_s", indexed_s)
             .f64("reference_s", reference_s)
-            .f64("pick_speedup", pick_speedup);
+            .f64("pick_speedup", pick_speedup)
+            .u64("sim_threads", TIMED_SIM_THREADS as u64)
+            .f64("threaded_s", threaded_s)
+            .f64("thread_speedup", thread_speedup);
         match (baseline, total_speedup) {
             (Some(b), Some(s)) => row.f64("seed_baseline_s", b).f64("total_speedup", s),
             _ => row.null("seed_baseline_s").null("total_speedup"),
@@ -129,13 +170,15 @@ fn main() {
     println!("perfreport — busy-benchmark wall clock, indexed vs reference picks ({kind:?})\n");
     t.print();
     println!(
-        "\npick speedup = reference/indexed on this build; total speedup = \
-         seed-commit baseline / indexed (Small only, where the baseline was measured)."
+        "\npick speedup = reference/indexed on this build; thread speedup = \
+         serial / {TIMED_SIM_THREADS}-thread partition pool (host has {host_threads} \
+         core(s)); total speedup = seed-commit baseline / indexed (Small only, \
+         where the baseline was measured)."
     );
 
     let doc = format!(
         "{{\"report\":\"perfreport\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
-         \"scheduler\":\"{kind:?}\",\"reps\":{reps},\
+         \"scheduler\":\"{kind:?}\",\"reps\":{reps},\"host_threads\":{host_threads},\
          \"baseline_commit\":\"eabfeb8\",\"rows\":[{}]}}",
         rows.join(",")
     );

@@ -9,8 +9,9 @@
 //! and a warm rerun re-renders everything without simulating at all.
 //!
 //! ```text
-//! repro [tiny|small|full] [--seed N] [--jobs N] [--only fig08,fig11]
-//!       [--out DIR] [--cold] [--resume] [--audit] [--trace]
+//! repro [tiny|small|full] [--seed N] [--jobs N] [--threads N]
+//!       [--only fig08,fig11] [--out DIR] [--cold] [--resume]
+//!       [--audit] [--trace]
 //! ```
 //!
 //! `--cold` deletes the cell cache first; `--resume` is the default warm
@@ -20,11 +21,15 @@
 //! round-trip through the cache — use the `histreport` binary.
 
 use ldsim_bench::figures::registry;
+use ldsim_bench::{cli_fail, cli_parse, cli_pos, cli_value};
 use ldsim_system::sweep::{run_sweep, SweepConfig, ENGINE_SALT};
 use ldsim_system::RunOpts;
 use ldsim_workloads::Scale;
 use std::path::PathBuf;
 use std::time::Instant;
+
+const USAGE: &str = "repro [tiny|small|full] [--seed N] [--jobs N] [--threads N] \
+     [--only fig08,fig11] [--out DIR] [--cold] [--resume] [--audit] [--trace]";
 
 fn main() {
     let mut scale = Scale::Small;
@@ -42,69 +47,68 @@ fn main() {
             "small" => scale = Scale::Small,
             "full" => scale = Scale::Full,
             "--seed" => {
+                let v = cli_value(&args, i, "--seed", USAGE);
+                seed = cli_parse(v, "--seed", "a number", USAGE);
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
             }
             "--jobs" => {
+                let v = cli_value(&args, i, "--jobs", USAGE);
+                ldsim_util::set_jobs(Some(cli_pos(v, "--jobs", USAGE)));
                 i += 1;
-                let n: usize = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n > 0)
-                    .expect("--jobs needs a positive number");
-                ldsim_util::set_jobs(Some(n));
+            }
+            "--threads" => {
+                let v = cli_value(&args, i, "--threads", USAGE);
+                ldsim_util::set_sim_threads(Some(cli_pos(v, "--threads", USAGE)));
+                i += 1;
             }
             "--out" => {
+                out = PathBuf::from(cli_value(&args, i, "--out", USAGE));
                 i += 1;
-                out = PathBuf::from(args.get(i).expect("--out needs a directory"));
             }
             "--only" => {
-                i += 1;
                 only = Some(
-                    args.get(i)
-                        .expect("--only needs a comma-separated figure list")
+                    cli_value(&args, i, "--only", USAGE)
                         .split(',')
                         .map(|s| s.trim().to_string())
                         .filter(|s| !s.is_empty())
                         .collect(),
                 );
+                i += 1;
             }
             "--cold" => cold = true,
             // Warm start is the default; the flag documents intent.
             "--resume" => resume = true,
             "--audit" => opts.audit = true,
             "--trace" => opts.trace = true,
-            "--hist" => panic!(
+            "--hist" => cli_fail(
+                USAGE,
                 "--hist is not supported by repro: distribution histograms do not \
                  round-trip through the cell cache — run the standalone \
-                 `histreport` binary instead"
+                 `histreport` binary instead",
             ),
-            other => panic!(
-                "unknown argument '{other}' (expected tiny|small|full|--seed N|\
-                 --jobs N|--only a,b|--out DIR|--cold|--resume|--audit|--trace)"
-            ),
+            other => cli_fail(USAGE, &format!("unknown argument '{other}'")),
         }
         i += 1;
     }
-    assert!(
-        !(cold && resume),
-        "--cold and --resume contradict each other: --cold deletes the cell \
-         cache, --resume asks to warm-start from it — pass one or the other"
-    );
+    if cold && resume {
+        cli_fail(
+            USAGE,
+            "--cold and --resume contradict each other: --cold deletes the cell \
+             cache, --resume asks to warm-start from it — pass one or the other",
+        );
+    }
     ldsim_system::set_run_opts(opts);
 
     let mut specs = registry(scale, seed);
     if let Some(names) = &only {
         let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
         for n in names {
-            assert!(
-                known.contains(&n.as_str()),
-                "--only: unknown figure '{n}' (known: {})",
-                known.join(", ")
-            );
+            if !known.contains(&n.as_str()) {
+                cli_fail(
+                    USAGE,
+                    &format!("--only: unknown figure '{n}' (known: {})", known.join(", ")),
+                );
+            }
         }
         specs.retain(|s| names.iter().any(|n| n == s.name));
     }
@@ -132,9 +136,10 @@ fn main() {
         max_simulated,
     };
     println!(
-        "repro: {} figure(s) at {scale:?}, seed {seed}, {} worker(s), cache {}",
+        "repro: {} figure(s) at {scale:?}, seed {seed}, {} worker(s) x {} sim thread(s), cache {}",
         specs.len(),
         ldsim_util::jobs(),
+        ldsim_util::sim_threads(),
         cache.display()
     );
     let t0 = Instant::now();

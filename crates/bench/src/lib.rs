@@ -2,9 +2,11 @@
 //! figure) and the microbenches.
 //!
 //! Every binary accepts an optional scale argument (`tiny` / `small` /
-//! `full`, default `small`), an optional `--seed N`, and the `--audit` /
-//! `--trace` / `--hist` switches (which arm the DRAM protocol conformance
-//! auditor, the event-trace recorder, and the distribution histograms for
+//! `full`, default `small`), an optional `--seed N`, the `--jobs N` /
+//! `--threads N` parallelism knobs (workers across cells; partition
+//! threads inside each run), and the `--audit` / `--trace` / `--hist`
+//! switches (which arm the DRAM protocol conformance auditor, the
+//! event-trace recorder, and the distribution histograms for
 //! every run the binary performs); results print as text tables (the same
 //! rows/series the paper plots) and are also written as JSON lines to
 //! `results/<figure>.jsonl` — one file per figure, rewritten on every
@@ -20,10 +22,55 @@ use ldsim_util::json::JsonObject;
 use ldsim_workloads::Scale;
 use std::io::Write;
 
-/// Parse `[tiny|small|full]`, `--seed N`, `--jobs N`, `--audit`, `--trace`,
-/// and `--hist` from argv. The switches are applied process-wide (run
-/// options via [`ldsim_system::set_run_opts`], worker count via
-/// [`ldsim_util::set_jobs`]) before returning.
+/// One-line CLI failure: a named error to stderr, the usage line, and a
+/// nonzero exit. Every hand-rolled parser in the workspace binaries routes
+/// bad input here — a typo'd flag must produce a readable diagnostic, not a
+/// raw `expect` backtrace.
+pub fn cli_fail(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2)
+}
+
+/// The value following flag `args[i]`, or a named failure when the flag is
+/// the last argument.
+pub fn cli_value<'a>(args: &'a [String], i: usize, flag: &str, usage: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(v) => v.as_str(),
+        None => cli_fail(usage, &format!("{flag} needs a value but none followed")),
+    }
+}
+
+/// Parse a flag's value with [`FromStr`](std::str::FromStr), naming the
+/// flag and the offending text on failure.
+pub fn cli_parse<T: std::str::FromStr>(raw: &str, flag: &str, what: &str, usage: &str) -> T {
+    raw.trim()
+        .parse()
+        .unwrap_or_else(|_| cli_fail(usage, &format!("{flag} needs {what}, got '{raw}'")))
+}
+
+/// Parse a flag's value as a positive integer (worker/thread counts).
+pub fn cli_pos(raw: &str, flag: &str, usage: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => cli_fail(
+            usage,
+            &format!("{flag} needs a positive integer, got '{raw}'"),
+        ),
+    }
+}
+
+/// The shared harness usage line (see [`cli`]).
+pub const CLI_USAGE: &str =
+    "<binary> [tiny|small|full] [--seed N] [--jobs N] [--threads N] [--audit] [--trace] [--hist]";
+
+/// Parse `[tiny|small|full]`, `--seed N`, `--jobs N`, `--threads N`,
+/// `--audit`, `--trace`, and `--hist` from argv. The switches are applied
+/// process-wide (run options via [`ldsim_system::set_run_opts`], cell
+/// worker count via [`ldsim_util::set_jobs`], intra-run partition threads
+/// via [`ldsim_util::set_sim_threads`]) before returning. Bad input —
+/// missing or malformed values, unknown flags — prints a named error plus
+/// the usage line and exits nonzero.
 pub fn cli() -> (Scale, u64) {
     let mut scale = Scale::Small;
     let mut seed = 1u64;
@@ -36,28 +83,24 @@ pub fn cli() -> (Scale, u64) {
             "small" => scale = Scale::Small,
             "full" => scale = Scale::Full,
             "--seed" => {
+                let v = cli_value(&args, i, "--seed", CLI_USAGE);
+                seed = cli_parse(v, "--seed", "a number", CLI_USAGE);
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
             }
             "--jobs" => {
+                let v = cli_value(&args, i, "--jobs", CLI_USAGE);
+                ldsim_util::set_jobs(Some(cli_pos(v, "--jobs", CLI_USAGE)));
                 i += 1;
-                let n: usize = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n > 0)
-                    .expect("--jobs needs a positive number");
-                ldsim_util::set_jobs(Some(n));
+            }
+            "--threads" => {
+                let v = cli_value(&args, i, "--threads", CLI_USAGE);
+                ldsim_util::set_sim_threads(Some(cli_pos(v, "--threads", CLI_USAGE)));
+                i += 1;
             }
             "--audit" => opts.audit = true,
             "--trace" => opts.trace = true,
             "--hist" => opts.hist = true,
-            other => panic!(
-                "unknown argument '{other}' \
-                 (expected tiny|small|full|--seed N|--jobs N|--audit|--trace|--hist)"
-            ),
+            other => cli_fail(CLI_USAGE, &format!("unknown argument '{other}'")),
         }
         i += 1;
     }

@@ -1,0 +1,78 @@
+//! CLI error-path contract for the hand-rolled argument parsers.
+//!
+//! Bad input — a flag missing its value, a non-numeric number, an unknown
+//! flag — must produce a *named* one-line error on stderr plus the usage
+//! text and a nonzero exit, in both the `repro` orchestrator and the
+//! shared-harness binaries (exercised through `perfreport`, which parses
+//! argv before doing any work). A raw `expect` backtrace, or a silently
+//! accepted typo, fails this suite.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"))
+}
+
+/// The error contract: nonzero exit, a named `error:` line mentioning the
+/// offending flag, a usage line, and no panic backtrace.
+fn assert_cli_error(bin: &str, args: &[&str], names: &str) {
+    let out = run(bin, args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{bin} {args:?}: must exit nonzero, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} {args:?}: must exit via the usage path (code 2), not a panic \
+         (101)\nstderr: {stderr}"
+    );
+    let first = stderr.lines().next().unwrap_or("");
+    assert!(
+        first.starts_with("error: ") && first.contains(names),
+        "{bin} {args:?}: first stderr line must be a named error mentioning \
+         '{names}', got: {first}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{bin} {args:?}: stderr must include the usage line\nstderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked at"),
+        "{bin} {args:?}: raw panic leaked to the user\nstderr: {stderr}"
+    );
+}
+
+#[test]
+fn repro_rejects_bad_arguments_with_named_errors() {
+    let bin = env!("CARGO_BIN_EXE_repro");
+    // Value-less flag at the end of argv (the classic `--out` crash).
+    assert_cli_error(bin, &["tiny", "--out"], "--out");
+    assert_cli_error(bin, &["--seed"], "--seed");
+    // Non-numeric values.
+    assert_cli_error(bin, &["--seed", "eleven"], "--seed");
+    assert_cli_error(bin, &["--jobs", "all"], "--jobs");
+    assert_cli_error(bin, &["--jobs", "0"], "--jobs");
+    assert_cli_error(bin, &["--threads", "fast"], "--threads");
+    // Unknown flags must not be silently accepted.
+    assert_cli_error(bin, &["--colde"], "--colde");
+    // Contradictory and unsupported flags route through the same path.
+    assert_cli_error(bin, &["--cold", "--resume"], "--cold");
+    assert_cli_error(bin, &["--hist"], "--hist");
+}
+
+#[test]
+fn shared_harness_rejects_bad_arguments_with_named_errors() {
+    let bin = env!("CARGO_BIN_EXE_perfreport");
+    assert_cli_error(bin, &["--seed"], "--seed");
+    assert_cli_error(bin, &["--seed", "eleven"], "--seed");
+    assert_cli_error(bin, &["--jobs", "-2"], "--jobs");
+    assert_cli_error(bin, &["--threads", "0"], "--threads");
+    assert_cli_error(bin, &["--threads"], "--threads");
+    assert_cli_error(bin, &["smol"], "smol");
+}

@@ -8,9 +8,10 @@
 //! evictions become the DRAM write traffic that the write-drain machinery
 //! (and WG-W) manages.
 
+use crate::trace::{WgEvent, WgStage};
 use ldsim_gpu::cache::{Cache, Mshr};
 use ldsim_gpu::sm::SmResponse;
-use ldsim_memctrl::Controller;
+use ldsim_memctrl::{Controller, CoordMsg};
 use ldsim_types::addr::AddressMapper;
 use ldsim_types::clock::Cycle;
 use ldsim_types::config::{CacheConfig, MemConfig};
@@ -44,7 +45,28 @@ pub struct Partition {
     /// Controller read-queue depth sampled on the same 512-cycle cadence as
     /// the activity samples (None = zero cost). Observation-only.
     depth_hist: Option<Box<Histogram>>,
+    // --- epoch-step staging (see `Simulator::step`) ---
+    //
+    // When partitions step concurrently between epoch barriers, anything a
+    // partition would have pushed into simulator-owned state mid-phase is
+    // staged in these partition-owned buffers instead, and the main thread
+    // drains them in channel-id order at the barrier — reproducing the
+    // serial loop's ordering exactly.
+    /// This epoch's drained DRAM responses (scratch, reused every cycle).
+    resp_buf: Vec<MemResponse>,
+    /// Outbound coordination messages staged for the hub broadcast.
+    pub(crate) epoch_coord: Vec<CoordMsg>,
+    /// `Serve`-stage trace events staged for the shared trace stream.
+    pub(crate) epoch_events: Vec<WgEvent>,
 }
+
+// Partitions cross thread boundaries in the epoch pool; every policy is
+// `Send` by trait bound, so this holds by construction — keep it a
+// compile-time fact rather than a latent `Scoped` error.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    let _ = assert_send::<Partition>;
+};
 
 impl Partition {
     pub fn new(
@@ -70,6 +92,9 @@ impl Partition {
             active_samples: 0,
             total_samples: 0,
             depth_hist: None,
+            resp_buf: Vec::new(),
+            epoch_coord: Vec::new(),
+            epoch_events: Vec::new(),
         }
     }
 
@@ -103,6 +128,41 @@ impl Partition {
     pub fn accept(&mut self, req: MemRequest) {
         debug_assert!(self.can_accept());
         self.input.push_back(req);
+    }
+
+    /// Epoch phase A: tick the controller and (for coordinating
+    /// schedulers) stage its outbound coordination messages in
+    /// [`Self::epoch_coord`] for the hub to broadcast at the barrier.
+    /// Touches only this partition's state, so partitions can run it
+    /// concurrently.
+    pub(crate) fn epoch_ctrl_tick(&mut self, now: Cycle, coordinating: bool) {
+        self.ctrl.tick(now);
+        if coordinating {
+            self.ctrl.drain_coord(&mut self.epoch_coord);
+        }
+    }
+
+    /// Epoch phase C: apply this cycle's completed DRAM reads (staging a
+    /// `Serve` trace event per response when tracing) and run the L2-slice
+    /// tick. Like phase A, this reads and writes only partition-owned
+    /// state — SM-bound responses land in `to_sm`, which the hub drains
+    /// after the barrier.
+    pub(crate) fn epoch_serve_and_tick(&mut self, now: Cycle, trace_on: bool) {
+        self.resp_buf.clear();
+        self.ctrl.drain_responses(&mut self.resp_buf);
+        for i in 0..self.resp_buf.len() {
+            let resp = self.resp_buf[i];
+            if trace_on {
+                self.epoch_events.push(WgEvent {
+                    cycle: resp.done_cycle,
+                    wg: resp.wg,
+                    channel: self.id.0,
+                    stage: WgStage::Serve,
+                });
+            }
+            self.on_ctrl_response(&resp, now);
+        }
+        self.tick(now);
     }
 
     /// Process this cycle's partition work (after the controller has been

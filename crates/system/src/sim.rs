@@ -6,14 +6,13 @@ use crate::trace::{Trace, WgEvent, WgStage};
 use ldsim_gddr5::{Channel, MerbTable, PowerModel, PowerParams};
 use ldsim_gpu::sm::{Sm, SmResponse};
 use ldsim_gpu::xbar::Crossbar;
-use ldsim_memctrl::{Controller, CoordMsg};
+use ldsim_memctrl::Controller;
 use ldsim_types::addr::AddressMapper;
 use ldsim_types::clock::Cycle;
 use ldsim_types::config::{SchedulerKind, SimConfig};
 use ldsim_types::ids::{ChannelId, SmId, WarpGroupId};
 use ldsim_types::kernel::KernelProgram;
-use ldsim_types::req::MemResponse;
-use ldsim_util::FnvHashSet;
+use ldsim_util::{BarrierPool, FnvHashSet};
 use ldsim_warpsched::{make_policy, CoordNetwork};
 
 /// The assembled machine.
@@ -27,9 +26,15 @@ pub struct Simulator {
     zero_div: bool,
     fast_seen: FnvHashSet<WarpGroupId>,
     benchmark: String,
+    /// Intra-run partition pool: `None` runs the partition epochs inline
+    /// in channel order (the serial reference), `Some` stripes them over
+    /// persistent workers with a barrier at every crossbar hand-off —
+    /// bit-exact with serial by construction (see DESIGN.md §17). Width
+    /// resolves from `cfg.sim_threads`, falling back to the process-wide
+    /// `--threads` / `LDSIM_SIM_THREADS` setting, capped at the partition
+    /// count; the default is serial.
+    pool: Option<BarrierPool>,
     // Scratch buffers reused every cycle.
-    resp_buf: Vec<MemResponse>,
-    coord_buf: Vec<CoordMsg>,
     sm_out: Vec<ldsim_types::req::MemRequest>,
     room_buf: Vec<usize>,
     // Conservation counters (always on; two u64 increments per event).
@@ -116,6 +121,12 @@ impl Simulator {
 
         let num_sms = sms.len();
         let num_ch = partitions.len();
+        let threads = match cfg.sim_threads {
+            0 => ldsim_util::sim_threads(),
+            n => n,
+        }
+        .min(num_ch);
+        let pool = (threads > 1).then(|| BarrierPool::new(threads));
         Self {
             req_xbar: Crossbar::new(num_sms, num_ch, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue),
             resp_xbar: Crossbar::new(
@@ -131,8 +142,7 @@ impl Simulator {
             sms,
             partitions,
             cfg,
-            resp_buf: Vec::new(),
-            coord_buf: Vec::new(),
+            pool,
             sm_out: Vec::new(),
             room_buf: Vec::new(),
             mem_read_requests: 0,
@@ -268,18 +278,39 @@ impl Simulator {
         }
     }
 
-    /// Advance the machine one cycle.
-    pub fn step(&mut self, now: Cycle) {
-        // --- memory controllers ---
-        for p in &mut self.partitions {
-            p.ctrl.tick(now);
+    /// Run `f` over every partition: inline in channel order when serial,
+    /// striped over the barrier pool when threaded. Both orders commit the
+    /// same per-partition state because `f` touches only the partition it
+    /// is handed — anything hub-bound is staged in partition-owned buffers
+    /// and merged in channel order after the barrier.
+    fn each_partition(&mut self, f: impl Fn(&mut Partition) + Sync) {
+        match &self.pool {
+            Some(pool) => pool.run_disjoint(&mut self.partitions, |_, p| f(p)),
+            None => self.partitions.iter_mut().for_each(f),
         }
-        // Coordination network (WG-M family).
+    }
+
+    /// Advance the machine one cycle.
+    ///
+    /// The cycle opens with the partition epoch — the only work the
+    /// intra-run pool parallelizes. Between two crossbar hand-off points a
+    /// partition's evolution depends only on its own state, so partitions
+    /// step concurrently and rejoin at a barrier before the hub (crossbars,
+    /// coordination network, SMs) runs serially, exactly as in the
+    /// reference loop.
+    pub fn step(&mut self, now: Cycle) {
+        let trace_on = self.cfg.trace;
+        // --- partition epoch: memory controllers + L2 slices ---
         if self.cfg.scheduler.coordinates() {
+            // The coordination network (WG-M family) couples partitions
+            // mid-cycle, so the epoch splits in two at the hub: controllers
+            // tick (staging outbound messages per partition), the hub
+            // broadcasts in channel order and delivers — landing *after*
+            // every controller's tick, as the committed semantics require —
+            // then the serve/L2 phase runs.
+            self.each_partition(|p| p.epoch_ctrl_tick(now, true));
             for (i, p) in self.partitions.iter_mut().enumerate() {
-                self.coord_buf.clear();
-                p.ctrl.drain_coord(&mut self.coord_buf);
-                for m in self.coord_buf.drain(..) {
+                for m in p.epoch_coord.drain(..) {
                     self.coord.broadcast(i, m, now);
                 }
             }
@@ -287,25 +318,21 @@ impl Simulator {
             self.coord.deliver(now, |dst, msg| {
                 partitions[dst].ctrl.deliver_coord(msg, now);
             });
+            self.each_partition(|p| p.epoch_serve_and_tick(now, trace_on));
+        } else {
+            // No cross-partition edge until the crossbars: the whole epoch
+            // is one fused phase per partition.
+            self.each_partition(|p| {
+                p.epoch_ctrl_tick(now, false);
+                p.epoch_serve_and_tick(now, trace_on);
+            });
         }
-        // DRAM responses -> L2 fill -> SM-bound responses.
-        let trace_on = self.cfg.trace;
-        for pi in 0..self.partitions.len() {
-            self.resp_buf.clear();
-            self.partitions[pi].ctrl.drain_responses(&mut self.resp_buf);
-            for i in 0..self.resp_buf.len() {
-                let resp = self.resp_buf[i];
-                if trace_on {
-                    self.wg_events.push(WgEvent {
-                        cycle: resp.done_cycle,
-                        wg: resp.wg,
-                        channel: pi as u8,
-                        stage: WgStage::Serve,
-                    });
-                }
-                self.partitions[pi].on_ctrl_response(&resp, now);
+        if trace_on {
+            // Merge staged Serve events in channel-id order — the same
+            // order the serial loop emits them in.
+            for p in &mut self.partitions {
+                self.wg_events.append(&mut p.epoch_events);
             }
-            self.partitions[pi].tick(now);
         }
         // Partition -> response crossbar.
         for (pi, p) in self.partitions.iter_mut().enumerate() {
@@ -745,6 +772,33 @@ mod tests {
                 "{k:?} trace hash diverged"
             );
             assert!(fast.0.finished);
+        }
+    }
+
+    #[test]
+    fn threaded_partition_epochs_are_bit_exact() {
+        // The pool changes execution strategy, not semantics: identical
+        // RunResult and trace hash at every width, for both a plain and a
+        // coordinating scheduler (the two step topologies). The full
+        // 7-scheduler ladder lives in tests/threaded.rs.
+        let kernel = tiny_kernel(6, 5);
+        for k in [SchedulerKind::Gmc, SchedulerKind::WgW] {
+            let cfg = SimConfig {
+                max_cycles: 4_000_000,
+                ..SimConfig::default()
+            }
+            .with_scheduler(k)
+            .with_trace();
+            let serial = Simulator::new(cfg.clone().with_sim_threads(1), &kernel).run_traced();
+            for threads in [2, 6] {
+                let t = Simulator::new(cfg.clone().with_sim_threads(threads), &kernel).run_traced();
+                assert_eq!(t.0, serial.0, "{k:?} @ {threads} threads diverged");
+                assert_eq!(
+                    t.1.as_ref().map(|t| t.stable_hash()),
+                    serial.1.as_ref().map(|t| t.stable_hash()),
+                    "{k:?} @ {threads} threads: trace hash diverged"
+                );
+            }
         }
     }
 

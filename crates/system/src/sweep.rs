@@ -24,11 +24,13 @@
 //! (scheduler, run options, and [`CfgTweak`] applied). Two cells with the
 //! same key are the same simulation by construction — a tweak that resolves
 //! to the default config (e.g. `GmcMaxStreak(16)`) dedupes against the
-//! untweaked cell, which is correct: the config *is* the semantics. The
-//! only knob excluded from the fingerprint is `instruction_limit`, which
+//! untweaked cell, which is correct: the config *is* the semantics. Only
+//! two knobs are excluded from the fingerprint: `instruction_limit`, which
 //! the runner derives deterministically from (benchmark, scale, seed) —
-//! already part of the key. [`CfgTweak`] is a closed enum (not a closure)
-//! precisely so no tweak can sneak an unhashed knob past the key.
+//! already part of the key — and `sim_threads`, which changes how a cell is
+//! executed but (provably, see tests/threaded.rs) not a bit of what it
+//! computes. [`CfgTweak`] is a closed enum (not a closure) precisely so no
+//! tweak can sneak an unhashed knob past the key.
 //!
 //! ## Cache & resume semantics
 //!
@@ -191,9 +193,12 @@ fn scale_ord(s: ldsim_workloads::Scale) -> u8 {
 /// wire format; append new fields at the end of their section and bump
 /// [`ENGINE_SALT`] only if the *semantics* changed.
 pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
-    // `instruction_limit` is the one deliberate exclusion: the runner
-    // derives it deterministically from (benchmark, scale, seed), which the
-    // cell key already covers.
+    // Two deliberate exclusions: `instruction_limit`, which the runner
+    // derives deterministically from (benchmark, scale, seed) — already
+    // part of the cell key — and `sim_threads`, which is execution
+    // strategy, not semantics: the threaded partition pool is pinned
+    // bit-exact against the serial loop (tests/threaded.rs), so a cached
+    // cell is valid at any thread count.
     let SimConfig {
         gpu,
         mem,
@@ -206,6 +211,7 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
         trace,
         fast_forward,
         hist,
+        sim_threads: _,
     } = cfg;
     let mut h = Fnv64::new();
     // GPU side.

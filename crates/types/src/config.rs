@@ -384,6 +384,15 @@ pub struct SimConfig {
     /// with unarmed ones — but costs a few counter increments per DRAM
     /// command, so it is off by default.
     pub hist: bool,
+    /// Worker threads for the intra-run partition pool (the memory
+    /// partitions step concurrently between deterministic epoch barriers).
+    /// `0` resolves from the process-wide setting (`--threads N` /
+    /// `LDSIM_SIM_THREADS`, default serial); `1` forces serial; `n > 1`
+    /// forces an `n`-wide pool, capped at the partition count. Threaded
+    /// runs are bit-exact with serial ones, so this knob is execution
+    /// strategy, not semantics — it is deliberately excluded from the
+    /// sweep cache's `config_fingerprint`.
+    pub sim_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -400,6 +409,7 @@ impl Default for SimConfig {
             trace: false,
             fast_forward: true,
             hist: false,
+            sim_threads: 0,
         }
     }
 }
@@ -438,6 +448,13 @@ impl SimConfig {
     /// Arm the in-simulator distribution histograms.
     pub fn with_hist(mut self) -> Self {
         self.hist = true;
+        self
+    }
+
+    /// Set the intra-run partition thread count (see
+    /// [`SimConfig::sim_threads`]). `0` defers to the process-wide setting.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
         self
     }
 

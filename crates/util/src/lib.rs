@@ -9,7 +9,7 @@
 //!   (results and event traces);
 //! * [`hash`] — streaming FNV-1a 64-bit hashing for stable trace hashes;
 //! * [`par`] — a scoped worker-pool `parallel_map` replacing rayon in the
-//!   experiment runner.
+//!   experiment runner, plus the simulator's intra-run [`BarrierPool`].
 
 pub mod hash;
 pub mod json;
@@ -18,5 +18,5 @@ pub mod rng;
 
 pub use hash::{Fnv64, FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use json::{parse_object, JsonObject, JsonValue, ParsedObject};
-pub use par::{jobs, parallel_map, set_jobs};
+pub use par::{jobs, parallel_map, set_jobs, set_sim_threads, sim_threads, BarrierPool};
 pub use rng::StdRng;

@@ -1,22 +1,38 @@
-//! Scoped worker-pool map: the experiment runner's rayon replacement.
+//! Worker pools for the ldsim workspace: the experiment runner's rayon
+//! replacement plus the simulator's intra-run partition pool.
 //!
-//! `parallel_map` runs `f` over every item on `min(items, jobs())` scoped
-//! threads, preserving input order in the output. Work is distributed by an
-//! atomic cursor, so uneven item costs (a Full-scale WG-W run next to a
-//! Tiny FCFS run) still balance.
+//! Two independent axes of parallelism live here, each with its own knob:
 //!
-//! The worker count defaults to `available_parallelism`, but can be capped:
-//! programmatically via [`set_jobs`] (the bench binaries' `--jobs N` flag)
-//! or with the `LDSIM_JOBS` environment variable. CI runners advertise more
-//! cores than they deliver, and deterministic-timing debugging wants
-//! `--jobs 1`; both need an override that `available_parallelism` alone
-//! cannot provide.
+//! * **Across cells** — [`parallel_map`] runs `f` over every item on
+//!   `min(items, jobs())` scoped threads, preserving input order in the
+//!   output. Work is distributed by an atomic cursor, so uneven item costs
+//!   (a Full-scale WG-W run next to a Tiny FCFS run) still balance. The
+//!   worker count defaults to `available_parallelism`, capped by
+//!   [`set_jobs`] (the bench binaries' `--jobs N` flag) or the `LDSIM_JOBS`
+//!   environment variable.
+//!
+//! * **Inside a run** — [`BarrierPool`] is the persistent fork-join pool
+//!   the simulator uses to step its memory partitions concurrently between
+//!   deterministic epoch barriers. Its width comes from [`set_sim_threads`]
+//!   (the `--threads N` flag) or `LDSIM_SIM_THREADS`, defaulting to 1
+//!   (serial) so cached cell keys and CI timings are unperturbed.
+//!
+//! Both environment variables are validated: an unparsable or zero value
+//! warns once to stderr instead of being silently ignored, so a CI
+//! misconfiguration (`LDSIM_JOBS=all`) is visible in the log rather than
+//! quietly running at the wrong width.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Process-wide worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide intra-run thread-count override; 0 means "not set".
+static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Cap the number of worker threads [`parallel_map`] uses. `Some(n)` caps
 /// at `n`; `None` clears the override and falls back to `LDSIM_JOBS` /
@@ -32,20 +48,45 @@ pub fn set_jobs(jobs: Option<usize>) {
     JOBS_OVERRIDE.store(jobs.map_or(0, |n| n.max(1)), Ordering::Relaxed);
 }
 
+/// Set the intra-run partition thread count (the `--threads N` flag).
+/// `Some(n)` forces `n`; `None` clears the override and falls back to
+/// `LDSIM_SIM_THREADS` / serial. Same `Some(0)` contract as [`set_jobs`].
+pub fn set_sim_threads(threads: Option<usize>) {
+    debug_assert!(
+        threads != Some(0),
+        "set_sim_threads(Some(0)): zero workers is meaningless — pass None \
+         to clear the override or Some(n >= 1) to set it"
+    );
+    SIM_THREADS_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Read a positive-integer environment knob, warning **once** per variable
+/// (per process) on an unparsable or zero value instead of silently
+/// ignoring it.
+fn env_threads(var: &str, warned: &AtomicBool) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            if !warned.swap(true, Ordering::Relaxed) {
+                eprintln!("warning: ignoring {var}={raw:?}: expected a positive integer");
+            }
+            None
+        }
+    }
+}
+
 /// The worker count the next [`parallel_map`] call will use, resolved in
 /// priority order: [`set_jobs`] override, then the `LDSIM_JOBS` environment
-/// variable (ignored unless it parses to a positive integer), then
-/// `available_parallelism`.
+/// variable (must parse to a positive integer — anything else warns once
+/// and is ignored), then `available_parallelism`.
 pub fn jobs() -> usize {
+    static WARNED: AtomicBool = AtomicBool::new(false);
     let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
     }
-    if let Some(n) = std::env::var("LDSIM_JOBS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
+    if let Some(n) = env_threads("LDSIM_JOBS", &WARNED) {
         return n;
     }
     std::thread::available_parallelism()
@@ -53,7 +94,24 @@ pub fn jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The intra-run partition thread count, resolved in priority order:
+/// [`set_sim_threads`] override, then `LDSIM_SIM_THREADS` (same validation
+/// as `LDSIM_JOBS`), then **1** — serial is the default, so cached cell
+/// keys, golden pins, and CI timings are unperturbed unless a run opts in.
+pub fn sim_threads() -> usize {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let forced = SIM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    env_threads("LDSIM_SIM_THREADS", &WARNED).unwrap_or(1)
+}
+
 /// Map `f` over `items` in parallel, preserving order.
+///
+/// A worker panic fails fast: the cursor is poisoned so the remaining
+/// workers stop grabbing items (a doomed cold Full sweep dies in seconds,
+/// not hours), and the panic propagates to the caller when the scope joins.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -69,10 +127,27 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // Hand items out through Option slots so workers can take ownership.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The atomic cursor hands each index to exactly one worker, so the
+    // slots need no per-slot locking — one mutex over each whole vector is
+    // enough (held only for the O(1) take/store, never across `f`).
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new(items.into_iter().map(Some).collect());
+    let out: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
+
+    /// On-panic cursor poison: jumps the cursor past the end so sibling
+    /// workers stop claiming new items. Disarmed on the success path.
+    struct Poison<'a> {
+        cursor: &'a AtomicUsize,
+        n: usize,
+        armed: bool,
+    }
+    impl Drop for Poison<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                self.cursor.store(self.n, Ordering::Relaxed);
+            }
+        }
+    }
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -81,16 +156,216 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+                let item = slots.lock().unwrap()[i].take().expect("slot taken twice");
+                let mut poison = Poison {
+                    cursor: &cursor,
+                    n,
+                    armed: true,
+                };
                 let result = f(item);
-                *out[i].lock().unwrap() = Some(result);
+                poison.armed = false;
+                out.lock().unwrap()[i] = Some(result);
             });
         }
     });
 
-    out.into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker missed a slot"))
+    out.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("worker missed a slot"))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// BarrierPool: the simulator's intra-run fork-join pool.
+// ---------------------------------------------------------------------------
+
+/// The job a [`BarrierPool`] epoch runs: each worker (including the caller,
+/// as worker 0) invokes it once with its worker index.
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// State shared between the pool owner and its persistent workers.
+struct PoolShared {
+    /// The current epoch's job, published before `epoch` is bumped and
+    /// cleared after every worker has checked in. Only valid to read after
+    /// observing an `epoch` increment (Acquire pairs with the Release bump).
+    job: UnsafeCell<Option<Job>>,
+    /// Epoch counter: workers run one job per observed increment.
+    epoch: AtomicUsize,
+    /// Workers that have finished the current epoch's job.
+    done: AtomicUsize,
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+// SAFETY: `job` is only written by the owner between epochs (no worker
+// reads it until the Release bump of `epoch` publishes the write) and only
+// read by workers during an epoch (the owner does not touch it again until
+// every worker has bumped `done`). The pointee itself is `Sync`, so calling
+// it from any worker thread is fine.
+unsafe impl Sync for PoolShared {}
+unsafe impl Send for PoolShared {}
+
+/// A persistent fork-join worker pool with deterministic epoch barriers —
+/// the simulator's partition-stepping engine.
+///
+/// `new(t)` spawns `t - 1` OS threads once; every [`run`](Self::run) after
+/// that is a lock-free publish + spin-join (no per-epoch thread spawns —
+/// the pool survives for the millions of epochs of a single simulation).
+/// The caller participates as worker 0, so `t = 2` means one spawned
+/// thread. Workers spin with periodic `yield_now`, which keeps the pool
+/// live (if slow) even when the host has fewer cores than workers.
+///
+/// A panic inside a job — on any worker, including the caller — is caught,
+/// the barrier still completes (so the borrowed job is provably dead before
+/// `run` returns), and the panic is re-raised on the calling thread.
+pub struct BarrierPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl BarrierPool {
+    /// Build a pool of `threads` total workers (the calling thread counts
+    /// as one). `threads <= 1` spawns nothing; `run` degenerates to a plain
+    /// call on the caller.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(None),
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ldsim-part-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn partition worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total worker count (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run one epoch: every worker calls `job(worker_index)` exactly once;
+    /// `run` returns only after all of them have finished (the barrier).
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads <= 1 {
+            job(0);
+            return;
+        }
+        let shared = &*self.shared;
+        shared.done.store(0, Ordering::Relaxed);
+        // SAFETY: no epoch is in flight (the previous `run` joined every
+        // worker), so no worker reads `job` until the Release bump below.
+        // The lifetime erasure is sound because the barrier at the end of
+        // this function proves every worker is done with the reference
+        // before it dies.
+        unsafe {
+            let erased: Job = std::mem::transmute(job as *const (dyn Fn(usize) + Sync));
+            *shared.job.get() = Some(erased);
+        }
+        shared.epoch.fetch_add(1, Ordering::Release);
+        // The caller is worker 0. Catch a local panic so the join below
+        // still happens — unwinding past live borrows of `job` would be
+        // unsound, not just impolite.
+        let local = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let workers = self.threads - 1;
+        let mut spins = 0u32;
+        while shared.done.load(Ordering::Acquire) < workers {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: every worker has checked in; the borrow is dead.
+        unsafe {
+            *shared.job.get() = None;
+        }
+        if let Err(p) = local {
+            resume_unwind(p);
+        }
+        if shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("BarrierPool worker panicked (see stderr for the worker's message)");
+        }
+    }
+
+    /// Run one epoch over `items`, striping item `i` to worker
+    /// `i % threads`. Each item is visited by exactly one worker, so `f`
+    /// gets `&mut` access without locks; the stripes are disjoint by
+    /// construction and the exclusive borrow of `items` spans the barrier.
+    pub fn run_disjoint<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        let n = items.len();
+        let threads = self.threads;
+        let base = items.as_mut_ptr() as usize;
+        self.run(&move |w: usize| {
+            let mut i = w;
+            while i < n {
+                // SAFETY: worker `w` touches exactly the indices congruent
+                // to `w` mod `threads` — disjoint across workers — and the
+                // `&mut [T]` borrow outlives the epoch barrier.
+                let item = unsafe { &mut *(base as *mut T).add(i) };
+                f(i, item);
+                i += threads;
+            }
+        });
+    }
+}
+
+impl Drop for BarrierPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let mut seen = 0usize;
+    loop {
+        let mut spins = 0u32;
+        let epoch = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        };
+        seen = epoch;
+        // SAFETY: the Acquire load of `epoch` pairs with the owner's
+        // Release bump, which happens-after the job pointer was written.
+        let job = unsafe { (*shared.job.get()).expect("epoch bumped with no job") };
+        // SAFETY: the owner keeps the job borrow alive until every worker
+        // bumps `done`, which happens strictly after this call returns.
+        let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(worker) }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
 }
 
 #[cfg(test)]
@@ -132,12 +407,32 @@ mod tests {
         assert!(jobs() >= 1);
     }
 
+    #[test]
+    fn sim_threads_defaults_serial_and_override_wins() {
+        // Also one test for the same process-global reason as above. The
+        // env fallback is not exercised here (the harness shares the
+        // process environment across threads); tests/threaded.rs covers the
+        // config-level plumbing end to end.
+        assert_eq!(sim_threads(), 1, "serial must be the default");
+        set_sim_threads(Some(4));
+        assert_eq!(sim_threads(), 4);
+        set_sim_threads(None);
+        assert_eq!(sim_threads(), 1);
+    }
+
     // Guarded: `debug_assert!` compiles out under `--release` test runs.
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "set_jobs(Some(0))")]
     fn zero_jobs_is_rejected() {
         set_jobs(Some(0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "set_sim_threads(Some(0))")]
+    fn zero_sim_threads_is_rejected() {
+        set_sim_threads(Some(0));
     }
 
     #[test]
@@ -154,5 +449,69 @@ mod tests {
         for (i, (x, _)) in ys.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn worker_panic_fails_fast_and_propagates() {
+        // A panicking item must abort the map (propagated panic) and poison
+        // the cursor so trailing items are never started.
+        let started = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&started);
+        let items: Vec<usize> = (0..1000).collect();
+        let r = catch_unwind(AssertUnwindSafe(move || {
+            parallel_map(items, |i| {
+                s2.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("boom");
+                }
+                // Slow the survivors so the poison has someone to stop.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            })
+        }));
+        assert!(r.is_err(), "worker panic must propagate to the caller");
+        assert!(
+            started.load(Ordering::Relaxed) < 1000,
+            "cursor poisoning must stop workers from draining the whole list"
+        );
+    }
+
+    #[test]
+    fn barrier_pool_runs_epochs_and_stripes_disjointly() {
+        let pool = BarrierPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let mut items: Vec<u64> = vec![0; 10];
+        for epoch in 1..=100u64 {
+            pool.run_disjoint(&mut items, |i, x| *x += epoch + i as u64);
+        }
+        let sum: u64 = (1..=100u64).sum();
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, sum + 100 * i as u64, "item {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_pool_serial_degenerates_to_plain_call() {
+        let pool = BarrierPool::new(1);
+        let mut items = vec![1u32, 2, 3];
+        pool.run_disjoint(&mut items, |_, x| *x *= 10);
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn barrier_pool_worker_panic_reraises_on_caller() {
+        let pool = BarrierPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 1 {
+                    panic!("worker down");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must re-raise on the caller");
+        // The pool must survive a panicked epoch and run the next one.
+        let mut items = vec![0u8; 4];
+        pool.run_disjoint(&mut items, |_, x| *x = 7);
+        assert_eq!(items, vec![7; 4]);
     }
 }

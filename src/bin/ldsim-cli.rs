@@ -33,13 +33,24 @@ fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
     })
 }
 
-fn usage() -> ! {
+/// Named one-line error + usage + nonzero exit: a typo'd flag must say
+/// which flag went wrong, not just dump the usage text.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
     eprintln!(
         "usage: ldsim-cli [--list] --bench <name> [--scheduler <name>] \
-         [--scale tiny|small|full] [--seed N] [--trace <csv-path>]"
+         [--scale tiny|small|full] [--seed N] [--threads N] [--trace <csv-path>]"
     );
     eprintln!("schedulers: fcfs fr-fcfs gmc wafcfs sbwas[-25|-75] wg wg-m wg-bw wg-w wg-s zero-div par-bs atlas");
     std::process::exit(2)
+}
+
+/// The value following flag `args[i]`, or a named failure.
+fn value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(v) => v.as_str(),
+        None => fail(&format!("{flag} needs a value but none followed")),
+    }
 }
 
 fn main() {
@@ -64,41 +75,51 @@ fn main() {
                 return;
             }
             "--bench" => {
+                bench = Some(value(&args, i, "--bench").to_string());
                 i += 1;
-                bench = args.get(i).cloned();
             }
             "--scheduler" => {
+                let v = value(&args, i, "--scheduler");
+                sched = parse_scheduler(v)
+                    .unwrap_or_else(|| fail(&format!("--scheduler: unknown scheduler '{v}'")));
                 i += 1;
-                sched = args
-                    .get(i)
-                    .and_then(|s| parse_scheduler(s))
-                    .unwrap_or_else(|| usage());
             }
             "--scale" => {
-                i += 1;
-                scale = match args.get(i).map(|s| s.as_str()) {
-                    Some("tiny") => Scale::Tiny,
-                    Some("small") => Scale::Small,
-                    Some("full") => Scale::Full,
-                    _ => usage(),
+                scale = match value(&args, i, "--scale") {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => fail(&format!("--scale needs tiny|small|full, got '{other}'")),
                 };
+                i += 1;
             }
             "--seed" => {
+                let v = value(&args, i, "--seed");
+                seed = v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--seed needs a number, got '{v}'")));
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                let v = value(&args, i, "--threads");
+                match v.trim().parse::<usize>() {
+                    Ok(n) if n > 0 => ldsim::util::set_sim_threads(Some(n)),
+                    _ => fail(&format!("--threads needs a positive integer, got '{v}'")),
+                }
+                i += 1;
             }
             "--trace" => {
+                trace = Some(value(&args, i, "--trace").to_string());
                 i += 1;
-                trace = args.get(i).cloned();
             }
-            _ => usage(),
+            other => fail(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
-    let Some(bench) = bench else { usage() };
+    let Some(bench) = bench else {
+        fail("--bench is required (use --list to see the benchmark names)")
+    };
 
     let kernel = benchmark(&bench, scale, seed).generate();
     let mut cfg = SimConfig::default().with_scheduler(sched);
