@@ -68,6 +68,49 @@ fn seed_baseline_small_s(bench: &str) -> Option<f64> {
 /// the partition count anyway).
 const TIMED_SIM_THREADS: usize = 2;
 
+/// Deterministic epoch-barrier accounting for one (kernel, scheduler) at
+/// the timed thread count — cycle and barrier *counts*, not wall clock, so
+/// the figures are identical on any host (1-core CI included) and CI can
+/// gate on them.
+struct SyncProfile {
+    /// Barriers per thousand simulated cycles, auto epoch window.
+    epoch_per_kcycle: f64,
+    /// Same, with the window forced to the per-cycle cadence
+    /// (`epoch_max = 1` — the pre-epoch pool behaviour).
+    percycle_per_kcycle: f64,
+    /// `percycle / epoch` barrier-count ratio: the amortization factor.
+    barrier_cut: f64,
+    /// Mean epoch window length in cycles.
+    mean_window: f64,
+}
+
+fn sync_profile(kernel: &KernelProgram, kind: SchedulerKind) -> SyncProfile {
+    // Full runs, no instruction budget: barrier amortization is a property
+    // of the epoch engine, and a budget legitimately clamps windows near
+    // its edge (the budget lookahead must be conservative), which would
+    // measure the budget, not the engine. The timed rows above keep their
+    // budget — these two knobs answer different questions.
+    let make_cfg = |cap| {
+        SimConfig::default()
+            .with_scheduler(kind)
+            .with_sim_threads(TIMED_SIM_THREADS)
+            .with_epoch_max(cap)
+    };
+    let (r_epoch, epoch) = Simulator::new(make_cfg(0), kernel).run_with_sync_stats();
+    let (r_cycle, cycle) = Simulator::new(make_cfg(1), kernel).run_with_sync_stats();
+    assert_eq!(
+        r_epoch, r_cycle,
+        "{kind:?}: epoch cadence changed the simulated work — must be bit-exact"
+    );
+    assert!(epoch.windows > 0, "{kind:?}: epoch windows never engaged");
+    SyncProfile {
+        epoch_per_kcycle: 1000.0 * epoch.barriers as f64 / r_epoch.cycles as f64,
+        percycle_per_kcycle: 1000.0 * cycle.barriers as f64 / r_cycle.cycles as f64,
+        barrier_cut: cycle.barriers as f64 / epoch.barriers as f64,
+        mean_window: epoch.epoch_cycles as f64 / epoch.windows as f64,
+    }
+}
+
 /// Median of `reps` timed runs of one (kernel, mode, thread count), after
 /// one warm-up. `cycles_pin`, when given, asserts every rep simulates the
 /// exact same work — across reps *and* across thread counts.
@@ -126,6 +169,14 @@ fn main() {
         "seed baseline s",
         "total speedup",
     ]);
+    let mut sync_t = Table::new(&[
+        "benchmark",
+        "mean epoch (cyc)",
+        "barriers/kcyc epoch",
+        "barriers/kcyc per-cycle",
+        "WG-W cut",
+        "GMC cut",
+    ]);
     let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut rows = Vec::new();
     for &bench in BUSY {
@@ -152,6 +203,21 @@ fn main() {
             baseline.map_or("-".into(), |b| format!("{b:.4}")),
             total_speedup.map_or("-".into(), |s| format!("{s:.2}x")),
         ]);
+        // Barrier amortization (DESIGN.md §18), reported for both step
+        // topologies: the coordinating WG-W (window clamped to the
+        // coordination latency, per-cycle cost of two barriers per cycle)
+        // and the non-coordinating GMC (full crossbar lookahead — the
+        // headline ≥10x figure CI gates on).
+        let wgw_sync = sync_profile(&kernel, kind);
+        let gmc_sync = sync_profile(&kernel, SchedulerKind::Gmc);
+        sync_t.row(vec![
+            bench.to_string(),
+            format!("{:.1}", wgw_sync.mean_window),
+            format!("{:.1}", wgw_sync.epoch_per_kcycle),
+            format!("{:.1}", wgw_sync.percycle_per_kcycle),
+            format!("{:.2}x", wgw_sync.barrier_cut),
+            format!("{:.2}x", gmc_sync.barrier_cut),
+        ]);
         let mut row = JsonObject::new();
         row.str("benchmark", bench)
             .f64("indexed_s", indexed_s)
@@ -159,7 +225,12 @@ fn main() {
             .f64("pick_speedup", pick_speedup)
             .u64("sim_threads", TIMED_SIM_THREADS as u64)
             .f64("threaded_s", threaded_s)
-            .f64("thread_speedup", thread_speedup);
+            .f64("thread_speedup", thread_speedup)
+            .f64("mean_epoch_cycles", wgw_sync.mean_window)
+            .f64("barriers_per_kcycle_epoch", wgw_sync.epoch_per_kcycle)
+            .f64("barriers_per_kcycle_percycle", wgw_sync.percycle_per_kcycle)
+            .f64("barrier_cut", wgw_sync.barrier_cut)
+            .f64("gmc_barrier_cut", gmc_sync.barrier_cut);
         match (baseline, total_speedup) {
             (Some(b), Some(s)) => row.f64("seed_baseline_s", b).f64("total_speedup", s),
             _ => row.null("seed_baseline_s").null("total_speedup"),
@@ -174,6 +245,14 @@ fn main() {
          serial / {TIMED_SIM_THREADS}-thread partition pool (host has {host_threads} \
          core(s)); total speedup = seed-commit baseline / indexed (Small only, \
          where the baseline was measured)."
+    );
+
+    println!("\nepoch barrier amortization — {TIMED_SIM_THREADS}-thread pool, auto window vs per-cycle cadence\n");
+    sync_t.print();
+    println!(
+        "\ncut = per-cycle barriers / epoch barriers (deterministic counts, \
+         host-independent); WG-W columns use the WG-W run above, GMC cut is \
+         the non-coordinating headline CI gates on (DESIGN.md §18)."
     );
 
     let doc = format!(

@@ -10,9 +10,12 @@
 //! executes with the protocol auditor armed and fails loudly on any
 //! timing violation.
 
+use ldsim_bench::{cli_fail, cli_parse, cli_pos, cli_value};
 use ldsim_system::Simulator;
 use ldsim_types::config::{SchedulerKind, SimConfig};
 use ldsim_workloads::{benchmark, Scale};
+
+const USAGE: &str = "trace [bench] [tiny|small|full] [--seed N] [--scheduler NAME] [--threads N]";
 
 fn parse_scheduler(s: &str) -> SchedulerKind {
     match s.to_ascii_lowercase().as_str() {
@@ -25,7 +28,7 @@ fn parse_scheduler(s: &str) -> SchedulerKind {
         "wg-m" | "wgm" => SchedulerKind::WgM,
         "wg-bw" | "wgbw" => SchedulerKind::WgBw,
         "wg-w" | "wgw" => SchedulerKind::WgW,
-        other => panic!("unknown scheduler '{other}'"),
+        other => cli_fail(USAGE, &format!("--scheduler does not know '{other}'")),
     }
 }
 
@@ -42,15 +45,22 @@ fn main() {
             "small" => scale = Scale::Small,
             "full" => scale = Scale::Full,
             "--seed" => {
+                let v = cli_value(&args, i, "--seed", USAGE);
+                seed = cli_parse(v, "--seed", "a number", USAGE);
                 i += 1;
-                seed = args[i].parse().expect("--seed needs a number");
             }
             "--scheduler" => {
+                let v = cli_value(&args, i, "--scheduler", USAGE);
+                kind = parse_scheduler(v);
                 i += 1;
-                kind = parse_scheduler(&args[i]);
+            }
+            "--threads" => {
+                let v = cli_value(&args, i, "--threads", USAGE);
+                ldsim_util::set_sim_threads(Some(cli_pos(v, "--threads", USAGE)));
+                i += 1;
             }
             name if !name.starts_with('-') => bench = name.to_string(),
-            other => panic!("unknown argument '{other}'"),
+            other => cli_fail(USAGE, &format!("unknown argument '{other}'")),
         }
         i += 1;
     }

@@ -76,3 +76,53 @@ fn shared_harness_rejects_bad_arguments_with_named_errors() {
     assert_cli_error(bin, &["--threads"], "--threads");
     assert_cli_error(bin, &["smol"], "smol");
 }
+
+#[test]
+fn trace_rejects_bad_arguments_with_named_errors() {
+    let bin = env!("CARGO_BIN_EXE_trace");
+    assert_cli_error(bin, &["--seed"], "--seed");
+    assert_cli_error(bin, &["--seed", "eleven"], "--seed");
+    assert_cli_error(bin, &["--scheduler", "wgx"], "--scheduler");
+    assert_cli_error(bin, &["--threads", "nope"], "--threads");
+    assert_cli_error(bin, &["--colde"], "--colde");
+}
+
+/// Asking for more partition threads than the machine has memory
+/// partitions is not an error — the run proceeds at the capped width — but
+/// it must say so, once, in the same voice as the invalid
+/// `LDSIM_SIM_THREADS` warning. Silently dropping 93 of 99 requested
+/// threads would read as a performance bug.
+#[test]
+fn oversubscribed_threads_warn_once_and_still_run() {
+    let bin = env!("CARGO_BIN_EXE_trace");
+    // `trace` writes results/ relative to the cwd: keep the repo clean.
+    let dir = std::env::temp_dir().join(format!(
+        "ldsim-cli-threads-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp cwd");
+    let out = Command::new(bin)
+        .args(["bfs", "tiny", "--threads", "99"])
+        .current_dir(&dir)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        out.status.success(),
+        "oversubscription is a warning, not an error\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("99 simulation threads requested") && stderr.contains("capping at"),
+        "stderr must carry the capping warning\nstderr: {stderr}"
+    );
+    assert_eq!(
+        stderr.matches("capping at").count(),
+        1,
+        "the warning must fire once per process, not per run\nstderr: {stderr}"
+    );
+}

@@ -67,6 +67,27 @@ impl CoordNetwork {
         }
     }
 
+    /// Pop every broadcast due strictly before `end`, fanning each out to
+    /// its `num_ctrls - 1` receivers as `(deliver_cycle, dst, msg)` — the
+    /// same per-message destination order [`Self::deliver`] uses. The
+    /// epoch scheduler calls this at a window's opening barrier to hand
+    /// partitions the coordination traffic they will observe mid-window
+    /// (every such message was broadcast before the window opened, so its
+    /// content and delivery cycle are already committed; DESIGN.md §18).
+    pub fn drain_due_before(&mut self, end: Cycle, mut sink: impl FnMut(Cycle, usize, CoordMsg)) {
+        while let Some(f) = self.in_flight.front() {
+            if f.deliver_at >= end {
+                break;
+            }
+            let f = self.in_flight.pop_front().unwrap();
+            for dst in 0..self.num_ctrls {
+                if dst != f.src {
+                    sink(f.deliver_at, dst, f.msg);
+                }
+            }
+        }
+    }
+
     pub fn pending(&self) -> usize {
         self.in_flight.len()
     }

@@ -159,6 +159,9 @@ pub struct Sm {
     /// memory or done) — the SM-idle statistic the paper's motivation cites.
     pub mem_idle_cycles: u64,
     done_warps: usize,
+    /// Per-warp largest single-instruction weight (`Compute(k)`/`Delay(k)`
+    /// weigh `k`, memory ops 1) — static input to [`Self::budget_lookahead`].
+    warp_max_weight: Vec<u64>,
 }
 
 impl Sm {
@@ -183,6 +186,19 @@ impl Sm {
             })
             .collect::<Vec<_>>();
         let done_warps = programs.iter().filter(|p| p.insns.is_empty()).count();
+        let warp_max_weight = programs
+            .iter()
+            .map(|p| {
+                p.insns
+                    .iter()
+                    .map(|insn| match insn {
+                        Instruction::Compute(k) | Instruction::Delay(k) => *k as u64,
+                        Instruction::Load { .. } | Instruction::Store { .. } => 1,
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         let mut s = Self {
             id,
             warps,
@@ -209,6 +225,7 @@ impl Sm {
             port_busy_cycles: 0,
             mem_idle_cycles: 0,
             done_warps,
+            warp_max_weight,
             programs,
         };
         // Empty programs are Done from the start; everyone else is Ready.
@@ -265,6 +282,70 @@ impl Sm {
     /// All warps retired?
     pub fn done(&self) -> bool {
         self.done_warps == self.warps.len()
+    }
+
+    /// The largest remaining instruction count (`insns.len() - pc`) over
+    /// this SM's live warps, capped at `cap` (with early exit once the cap
+    /// is reached). A warp with `r` unissued instructions needs `r`
+    /// distinct issue cycles before it can retire — the SM issues at most
+    /// one instruction per cycle — so [`Self::done`] cannot become true
+    /// before `max_remaining_insns(..)` further cycles have elapsed. The
+    /// epoch scheduler uses this as its termination-check lookahead
+    /// (DESIGN.md §18).
+    pub fn max_remaining_insns(&self, cap: u64) -> u64 {
+        let mut rem = 0u64;
+        for (w, p) in self.warps.iter().zip(&self.programs) {
+            if w.state == WState::Done {
+                continue;
+            }
+            rem = rem.max((p.insns.len() - w.pc) as u64);
+            if rem >= cap {
+                return cap;
+            }
+        }
+        rem
+    }
+
+    /// Any live warp currently blocked on memory? Such a warp cannot wake
+    /// (let alone retire) before a response reaches this SM — the epoch
+    /// scheduler combines this with the response crossbar's in-flight
+    /// arrivals to extend its termination lookahead across the drain tail
+    /// (DESIGN.md §18). Busy warps have exactly one heap entry each, so
+    /// the memory-blocked count falls out of the other state counters.
+    pub fn has_mem_blocked_warp(&self) -> bool {
+        self.warps.len() - self.done_warps - self.ready_count - self.busy_heap.len() > 0
+    }
+
+    /// Budget lookahead inputs for the epoch scheduler (DESIGN.md §18):
+    /// `(live_warps, overhang, heaviest)` over the not-yet-done warps,
+    /// where `overhang` sums and `heaviest` maxes the per-warp largest
+    /// single-instruction weight. Two independent ceilings on what this SM
+    /// can retire inside a `W`-cycle span follow:
+    ///
+    /// * **issue port** — one instruction per cycle, each weighing at most
+    ///   `heaviest`: `W * heaviest`;
+    /// * **warp occupancy** — every weighted instruction also occupies its
+    ///   warp for that many cycles (`Compute(k)`/`Delay(k)` go busy `k`
+    ///   after retiring `k`; memory ops retire 1, occupy ≥ 1), so a warp
+    ///   retires at most `W + max_weight` per span (its issues must fit,
+    ///   bar one overhanging tail): `W * live_warps + overhang`.
+    ///
+    /// The epoch scheduler takes the min per SM — the port bound wins for
+    /// many-warps/light-weights kernels, occupancy for few-warps/heavy-
+    /// delay ones — and sums across SMs to bound how fast an instruction
+    /// budget can drain.
+    pub fn budget_lookahead(&self) -> (u64, u64, u64) {
+        let mut live = 0u64;
+        let mut overhang = 0u64;
+        let mut heaviest = 0u64;
+        for (w, &mw) in self.warps.iter().zip(&self.warp_max_weight) {
+            if w.state != WState::Done {
+                live += 1;
+                overhang += mw;
+                heaviest = heaviest.max(mw);
+            }
+        }
+        (live, overhang, heaviest)
     }
 
     pub fn num_warps(&self) -> usize {

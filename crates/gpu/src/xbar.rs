@@ -135,6 +135,65 @@ impl<T> Crossbar<T> {
         let ns = self.src_q.len();
         self.rr = (self.rr + (delta % ns as Cycle) as usize) % ns;
     }
+
+    /// Pop every in-flight payload due strictly before `end`, in flight
+    /// (grant) order, handing `(arrival_cycle, dst, payload)` to `f`.
+    ///
+    /// This is the epoch scheduler's pre-distribution hook (DESIGN.md §18):
+    /// deliveries due inside a conservative window were all granted before
+    /// the window opened, so their contents are known at the barrier — only
+    /// their exact delivery cycle (under destination back-pressure) is not,
+    /// and that is destination-local, so each destination replays its own.
+    pub fn drain_arrivals_before(&mut self, end: Cycle, mut f: impl FnMut(Cycle, usize, T)) {
+        while let Some(&(arrive, _, _)) = self.flight.front() {
+            if arrive >= end {
+                break;
+            }
+            let (arrive, dst, t) = self.flight.pop_front().unwrap();
+            f(arrive, dst, t);
+        }
+    }
+
+    /// Put a drained payload back at the head of the flight queue (the
+    /// inverse of [`Self::drain_arrivals_before`], for arrivals a window
+    /// closed on while the destination was still full). Callers re-insert
+    /// in reverse grant order so the queue's grant order — and its
+    /// monotone-arrival invariant — is restored.
+    pub fn requeue_front(&mut self, arrive: Cycle, dst: usize, payload: T) {
+        debug_assert!(
+            self.flight.front().is_none_or(|&(a, _, _)| arrive <= a),
+            "requeue_front would break the flight queue's arrival order"
+        );
+        self.flight.push_front((arrive, dst, payload));
+    }
+
+    /// The earliest in-flight arrival cycle, ignoring queued (ungranted)
+    /// heads — `None` when nothing is flying. Unlike [`Self::next_event`]
+    /// this is *not* clamped to any `now`: the epoch scheduler compares it
+    /// against a window edge, not against the current cycle.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.flight.front().map(|&(arrive, _, _)| arrive)
+    }
+
+    /// Fill `out[dst]` with the earliest in-flight arrival cycle per
+    /// destination (`None` = nothing flying toward it). Queued heads are
+    /// deliberately excluded: anything granted at or after the current
+    /// cycle arrives a full pipeline latency later, which the epoch
+    /// scheduler's window bound already accounts for (DESIGN.md §18).
+    pub fn min_arrival_per_dst(&self, out: &mut Vec<Option<Cycle>>) {
+        out.clear();
+        out.resize(self.num_dsts, None);
+        let mut unseen = self.num_dsts;
+        for &(arrive, dst, _) in &self.flight {
+            if out[dst].is_none() {
+                out[dst] = Some(arrive);
+                unseen -= 1;
+                if unseen == 0 {
+                    break;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub mod trace;
 pub use diff::{differential_check, DiffCell, DiffReport};
 pub use metrics::{RunHists, RunResult};
 pub use runner::{run_grid, run_one, run_opts, set_run_opts, GridCell, RunOpts};
-pub use sim::Simulator;
+pub use sim::{Simulator, SyncStats};
 pub use sweep::{
     config_fingerprint, run_sweep, Cell, CellStore, CfgTweak, FigureSpec, SweepConfig, SweepStats,
     ENGINE_SALT,

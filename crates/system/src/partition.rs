@@ -36,8 +36,12 @@ pub struct Partition {
     input: VecDeque<MemRequest>,
     /// L2-latency delay line toward the controller.
     to_ctrl: VecDeque<(Cycle, MemRequest)>,
-    /// SM-bound responses awaiting the response crossbar.
-    pub to_sm: VecDeque<(usize, SmResponse)>,
+    /// SM-bound responses awaiting the response crossbar, tagged with the
+    /// cycle they were staged (tags are monotone — pushes happen in cycle
+    /// order). The hub drains entries tagged `<= now`, so a multi-cycle
+    /// free-run can stage several cycles' worth and the hub replay still
+    /// injects each at the cycle the serial loop would have.
+    pub to_sm: VecDeque<(Cycle, usize, SmResponse)>,
     next_wb_id: u64,
     /// Cycles (sampled) with at least one DRAM bank open, for power.
     pub active_samples: u64,
@@ -54,10 +58,30 @@ pub struct Partition {
     // serial loop's ordering exactly.
     /// This epoch's drained DRAM responses (scratch, reused every cycle).
     resp_buf: Vec<MemResponse>,
-    /// Outbound coordination messages staged for the hub broadcast.
-    pub(crate) epoch_coord: Vec<CoordMsg>,
-    /// `Serve`-stage trace events staged for the shared trace stream.
-    pub(crate) epoch_events: Vec<WgEvent>,
+    /// Per-cycle coordination-drain scratch (reused).
+    coord_buf: Vec<CoordMsg>,
+    /// Outbound coordination messages staged for the hub broadcast, tagged
+    /// with their emission cycle (monotone).
+    pub(crate) epoch_coord: VecDeque<(Cycle, CoordMsg)>,
+    /// `Serve`-stage trace events staged for the shared trace stream,
+    /// tagged with their emission cycle (monotone; the event's own `cycle`
+    /// field carries the DRAM `done_cycle`, which may lag the emission).
+    pub(crate) epoch_events: VecDeque<(Cycle, WgEvent)>,
+    // --- multi-cycle epoch windows (see `Simulator::run_epoch`) ---
+    /// Crossbar deliveries pre-distributed at the window's opening barrier:
+    /// `(arrival_cycle, global_grant_seq, request)` in grant order. The
+    /// free-run applies each at its arrival cycle, subject to this
+    /// partition's own input back-pressure — exactly the serial crossbar's
+    /// blocked-retry behaviour, which is destination-local.
+    pub(crate) epoch_arrivals: VecDeque<(Cycle, u64, MemRequest)>,
+    /// Read deliveries actually performed during the free-run:
+    /// `(delivery_cycle, global_grant_seq, warp_group)`. The hub replay
+    /// merges these across partitions by `(cycle, seq)` to reproduce the
+    /// serial loop's `Arrive` trace order and read-conservation counts.
+    pub(crate) epoch_arrive_log: VecDeque<(Cycle, u64, ldsim_types::ids::WarpGroupId)>,
+    /// Coordination messages pre-distributed at the window's opening
+    /// barrier, tagged with their committed delivery cycle (monotone).
+    pub(crate) epoch_coord_in: VecDeque<(Cycle, CoordMsg)>,
 }
 
 // Partitions cross thread boundaries in the epoch pool; every policy is
@@ -93,8 +117,12 @@ impl Partition {
             total_samples: 0,
             depth_hist: None,
             resp_buf: Vec::new(),
-            epoch_coord: Vec::new(),
-            epoch_events: Vec::new(),
+            coord_buf: Vec::new(),
+            epoch_coord: VecDeque::new(),
+            epoch_events: VecDeque::new(),
+            epoch_arrivals: VecDeque::new(),
+            epoch_arrive_log: VecDeque::new(),
+            epoch_coord_in: VecDeque::new(),
         }
     }
 
@@ -138,7 +166,10 @@ impl Partition {
     pub(crate) fn epoch_ctrl_tick(&mut self, now: Cycle, coordinating: bool) {
         self.ctrl.tick(now);
         if coordinating {
-            self.ctrl.drain_coord(&mut self.epoch_coord);
+            self.ctrl.drain_coord(&mut self.coord_buf);
+            for msg in self.coord_buf.drain(..) {
+                self.epoch_coord.push_back((now, msg));
+            }
         }
     }
 
@@ -153,16 +184,108 @@ impl Partition {
         for i in 0..self.resp_buf.len() {
             let resp = self.resp_buf[i];
             if trace_on {
-                self.epoch_events.push(WgEvent {
-                    cycle: resp.done_cycle,
-                    wg: resp.wg,
-                    channel: self.id.0,
-                    stage: WgStage::Serve,
-                });
+                self.epoch_events.push_back((
+                    now,
+                    WgEvent {
+                        cycle: resp.done_cycle,
+                        wg: resp.wg,
+                        channel: self.id.0,
+                        stage: WgStage::Serve,
+                    },
+                ));
             }
             self.on_ctrl_response(&resp, now);
         }
         self.tick(now);
+    }
+
+    /// Free-run this partition's cycles `[now, end)` without touching any
+    /// shared state — the body of a multi-cycle conservative epoch
+    /// (DESIGN.md §18). Pre-distributed crossbar arrivals
+    /// ([`Self::epoch_arrivals`]) and coordination deliveries
+    /// ([`Self::epoch_coord_in`]) are applied at their committed cycles —
+    /// arrivals subject to this partition's own input back-pressure, which
+    /// replays the crossbar's destination-local blocked-retry behaviour.
+    /// Everything the hub needs afterwards (SM responses, trace events,
+    /// outbound coordination, the arrive log) is staged cycle-tagged in
+    /// partition-owned buffers. Locally idle stretches are skipped under
+    /// the same per-component `next_event` contract the global
+    /// fast-forward relies on, replaying 512-cycle activity samples in
+    /// bulk.
+    pub(crate) fn free_run(&mut self, now: Cycle, end: Cycle, coordinating: bool, trace_on: bool) {
+        let mut c = now;
+        while c < end {
+            match self.local_horizon(c) {
+                None => {
+                    self.replay_samples(c, end);
+                    return;
+                }
+                Some(h) if h > c => {
+                    let t = h.min(end);
+                    self.replay_samples(c, t);
+                    c = t;
+                    continue;
+                }
+                _ => {}
+            }
+            self.epoch_ctrl_tick(c, coordinating);
+            while let Some(&(deliver_at, msg)) = self.epoch_coord_in.front() {
+                if deliver_at > c {
+                    break;
+                }
+                self.epoch_coord_in.pop_front();
+                self.ctrl.deliver_coord(msg, c);
+            }
+            self.epoch_serve_and_tick(c, trace_on);
+            while let Some(&(arrive, _, _)) = self.epoch_arrivals.front() {
+                if arrive > c || !self.can_accept() {
+                    break;
+                }
+                let (_, seq, req) = self.epoch_arrivals.pop_front().unwrap();
+                if req.kind == ReqKind::Read {
+                    self.epoch_arrive_log.push_back((c, seq, req.wg));
+                }
+                self.accept(req);
+            }
+            if (c + 1).is_multiple_of(512) {
+                self.sample_activity();
+            }
+            c += 1;
+        }
+    }
+
+    /// Earliest cycle in a free-run at which this partition's own state
+    /// can change. Unlike [`Self::next_event`], staged SM responses do
+    /// *not* pin `now`: the hub drains `to_sm` at the closing barrier and
+    /// no partition phase reads it.
+    fn local_horizon(&self, now: Cycle) -> Option<Cycle> {
+        if !self.input.is_empty() {
+            return Some(now);
+        }
+        let mut ev = self.ctrl.next_event(now);
+        let mut fold = |c: Cycle| {
+            let c = c.max(now);
+            ev = Some(ev.map_or(c, |e| e.min(c)));
+        };
+        if let Some(&(ready, _)) = self.to_ctrl.front() {
+            fold(ready);
+        }
+        if let Some(&(arrive, _, _)) = self.epoch_arrivals.front() {
+            fold(arrive);
+        }
+        if let Some(&(deliver_at, _)) = self.epoch_coord_in.front() {
+            fold(deliver_at);
+        }
+        ev
+    }
+
+    /// Bulk-replay the 512-cycle activity samples the per-cycle loop would
+    /// have taken across the locally idle cycles `[from, to)`.
+    fn replay_samples(&mut self, from: Cycle, to: Cycle) {
+        let n = to / 512 - from / 512;
+        if n > 0 {
+            self.sample_activity_many(n);
+        }
     }
 
     /// Process this cycle's partition work (after the controller has been
@@ -189,6 +312,7 @@ impl Partition {
                         self.input.pop_front();
                         self.ctrl.note_absorbed(req.wg, req.group_size_on_channel);
                         self.to_sm.push_back((
+                            now,
                             req.wg.warp.sm.0 as usize,
                             SmResponse {
                                 line_addr: req.line_addr,
@@ -250,6 +374,7 @@ impl Partition {
         }
         for waiter in self.l2_mshr.fill(resp.line_addr) {
             self.to_sm.push_back((
+                now,
                 waiter.wg.warp.sm.0 as usize,
                 SmResponse {
                     line_addr: resp.line_addr,

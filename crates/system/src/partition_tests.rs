@@ -66,7 +66,7 @@ fn l2_hit_is_absorbed_and_answered() {
     p.tick(0);
     // Response queued for the SM, nothing forwarded to the controller.
     assert_eq!(p.to_sm.len(), 1);
-    let (sm, resp) = p.to_sm[0];
+    let (_, sm, resp) = p.to_sm[0];
     assert_eq!(sm, 1);
     assert!(!resp.from_dram);
     assert!(p.ctrl.idle());
@@ -126,7 +126,7 @@ fn dram_fill_wakes_all_waiters_marked_from_dram() {
     assert!(p
         .to_sm
         .iter()
-        .all(|(_, r)| r.from_dram && r.dram_cycle == 500));
+        .all(|(_, _, r)| r.from_dram && r.dram_cycle == 500));
     // The line is now resident: a third access hits.
     assert!(p.l2.contains(mapper.line_addr(addr)));
 }

@@ -15,6 +15,39 @@ use ldsim_types::kernel::KernelProgram;
 use ldsim_util::{BarrierPool, FnvHashSet};
 use ldsim_warpsched::{make_policy, CoordNetwork};
 
+/// Synchronization accounting for a run: how often the partition pool had
+/// to rendezvous with the hub, and how much of the run was covered by
+/// multi-cycle epoch windows. Returned by
+/// [`Simulator::run_with_sync_stats`]; deliberately *not* part of
+/// [`RunResult`], which is compared bit-for-bit across execution
+/// strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    /// Partition-phase hand-off points (pool barriers when threaded): 2 per
+    /// per-cycle step under a coordinating scheduler, 1 per per-cycle step
+    /// otherwise, and 1 per multi-cycle epoch window regardless.
+    pub barriers: u64,
+    /// Multi-cycle epoch windows executed.
+    pub windows: u64,
+    /// Cycles covered by multi-cycle epoch windows (so
+    /// `epoch_cycles / windows` is the mean window length).
+    pub epoch_cycles: u64,
+}
+
+/// Warn once per process when the resolved simulation thread count exceeds
+/// the partition count — extra workers would only spin at every barrier.
+/// Same warn-once discipline as the invalid `LDSIM_SIM_THREADS` warning.
+fn warn_threads_capped(requested: usize, num_ch: usize) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: {requested} simulation threads requested (--threads / LDSIM_SIM_THREADS) \
+             but the machine has only {num_ch} memory partitions; capping at {num_ch}"
+        );
+    }
+}
+
 /// The assembled machine.
 pub struct Simulator {
     cfg: SimConfig,
@@ -47,6 +80,16 @@ pub struct Simulator {
     lost_requests: u64,
     /// Warp-group lifecycle events (populated only when `cfg.trace`).
     wg_events: Vec<WgEvent>,
+    /// Scratch for [`Crossbar::min_arrival_per_dst`] over the response
+    /// crossbar — reused across epoch-window computations.
+    resp_arrival_buf: Vec<Option<Cycle>>,
+    /// Scratch for per-SM [`Sm::budget_lookahead`] triples, reused by the
+    /// epoch window's instruction-budget bound.
+    budget_buf: Vec<(u64, u64, u64)>,
+    // Synchronization accounting (see [`SyncStats`]).
+    sync_barriers: u64,
+    epoch_windows: u64,
+    epoch_cycles: u64,
 }
 
 impl Simulator {
@@ -121,11 +164,14 @@ impl Simulator {
 
         let num_sms = sms.len();
         let num_ch = partitions.len();
-        let threads = match cfg.sim_threads {
+        let requested = match cfg.sim_threads {
             0 => ldsim_util::sim_threads(),
             n => n,
+        };
+        let threads = requested.min(num_ch);
+        if requested > num_ch {
+            warn_threads_capped(requested, num_ch);
         }
-        .min(num_ch);
         let pool = (threads > 1).then(|| BarrierPool::new(threads));
         Self {
             req_xbar: Crossbar::new(num_sms, num_ch, cfg.gpu.xbar_latency, cfg.gpu.xbar_queue),
@@ -149,6 +195,11 @@ impl Simulator {
             mem_read_responses: 0,
             lost_requests: 0,
             wg_events: Vec::new(),
+            resp_arrival_buf: Vec::new(),
+            budget_buf: Vec::new(),
+            sync_barriers: 0,
+            epoch_windows: 0,
+            epoch_cycles: 0,
         }
     }
 
@@ -178,6 +229,19 @@ impl Simulator {
         self.collect_full(end, finished)
     }
 
+    /// Like [`Self::run`], but also returns the run's [`SyncStats`] —
+    /// barrier/epoch accounting for the perf report and the CI gate. The
+    /// `RunResult` is identical to every other flavour's.
+    pub fn run_with_sync_stats(mut self) -> (RunResult, SyncStats) {
+        let (end, finished) = self.run_core();
+        let stats = SyncStats {
+            barriers: self.sync_barriers,
+            windows: self.epoch_windows,
+            epoch_cycles: self.epoch_cycles,
+        };
+        (self.collect(end, finished), stats)
+    }
+
     /// The main loop, shared by every run flavour. Steps cycle by cycle,
     /// sampling bank activity every 512th *completed* cycle (the first
     /// sample reflects cycle 511, not the trivially-idle cycle 0). When
@@ -192,12 +256,34 @@ impl Simulator {
         let mut finished = false;
         let limit = self.cfg.instruction_limit.unwrap_or(u64::MAX);
         let fast_forward = self.cfg.fast_forward;
+        // Multi-cycle epochs engage only when the partition pool exists
+        // (threads > 1 — serial stays the per-cycle reference), isn't
+        // forced per-cycle by `epoch_max = 1`, and the scheduler isn't
+        // ZeroDivergence (its global first-arrival set is fed in
+        // cross-partition delivery order, which a free-run can't replay).
+        let epochs_on = self.pool.is_some() && self.cfg.epoch_max != 1 && !self.zero_div;
         while now < self.cfg.max_cycles {
-            self.step(now);
-            if (now + 1).is_multiple_of(512) {
-                for p in &mut self.partitions {
-                    p.sample_activity();
+            let w = if epochs_on {
+                self.epoch_window(now, limit)
+            } else {
+                1
+            };
+            if w <= 1 {
+                self.step(now);
+                if (now + 1).is_multiple_of(512) {
+                    for p in &mut self.partitions {
+                        p.sample_activity();
+                    }
                 }
+            } else {
+                // Covers cycles [now, now + w); the partitions sample their
+                // own activity cadence inside the free-run. Leave `now` at
+                // the window's last cycle so the exit checks below see the
+                // same cycle number the per-cycle loop would have exited
+                // at — the window bounds guarantee neither check could
+                // have fired earlier in the window.
+                self.run_epoch(now, now + w);
+                now += w - 1;
             }
             if self.sms.iter().all(|s| s.done()) {
                 finished = true;
@@ -290,6 +376,271 @@ impl Simulator {
         }
     }
 
+    /// The conservative multi-cycle window `W`: partitions may free-run
+    /// cycles `[now, now + W)` between barriers because no cross-component
+    /// interaction that isn't already committed can land inside the window
+    /// (DESIGN.md §18). The bounds, in order:
+    ///
+    /// * **Crossbar lookahead** — a request granted at cycle `c ≥ now`
+    ///   arrives at `c + xbar_latency ≥ now + W` for any
+    ///   `W ≤ xbar_latency`; grants committed *before* the window are
+    ///   pre-distributed at the opening barrier, so they don't bound `W`.
+    /// * **Coordination lookahead** — under a coordinating scheduler a
+    ///   message emitted mid-window at `c` delivers at
+    ///   `c + coord_latency ≥ now + W` for `W ≤ coord_latency`;
+    ///   pre-window broadcasts are pre-distributed likewise.
+    /// * **`epoch_max`** — the config cap (0 = auto).
+    /// * **Run-exit lookahead** — the cycle-limit, instruction-budget and
+    ///   all-warps-done checks fire at end of cycle in the per-cycle loop;
+    ///   `W` is clamped so none of them could have fired strictly inside
+    ///   the window, making the end-of-window check equivalent.
+    fn epoch_window(&mut self, now: Cycle, limit: u64) -> Cycle {
+        let mut w = self.cfg.gpu.xbar_latency;
+        if self.cfg.epoch_max > 1 {
+            w = w.min(self.cfg.epoch_max);
+        }
+        if self.cfg.scheduler.coordinates() {
+            w = w.min(self.cfg.mem.coord_latency);
+        }
+        w = w.min(self.cfg.max_cycles - now);
+        if w <= 1 {
+            return 1;
+        }
+        if limit != u64::MAX {
+            // The budget check cannot fire inside a span of `s` cycles
+            // while `retired + max_retire(s) < limit`, with `max_retire`
+            // summing each SM's tighter ceiling — issue port vs warp
+            // occupancy (see [`Sm::budget_lookahead`]).
+            let retired: u64 = self.sms.iter().map(|s| s.retired).sum();
+            debug_assert!(retired < limit, "run_core would have exited");
+            let avail = limit - retired - 1;
+            self.budget_buf.clear();
+            self.budget_buf
+                .extend(self.sms.iter().map(|s| s.budget_lookahead()));
+            let max_retire = |s: u64| -> u64 {
+                self.budget_buf
+                    .iter()
+                    .map(|&(live, overhang, heaviest)| (s * heaviest).min(s * live + overhang))
+                    .sum()
+            };
+            if max_retire(w) > avail {
+                if max_retire(1) > avail {
+                    return 1;
+                }
+                // `max_retire` is monotone in `s`: binary-search the widest
+                // safe span in (1, w).
+                let (mut lo, mut hi) = (1u64, w);
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if max_retire(mid) <= avail {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                w = lo;
+            }
+            if w <= 1 {
+                return 1;
+            }
+        }
+        // The all-done exit needs *every* SM done, so it is bounded below
+        // by the slowest SM's earliest possible completion. Two lower
+        // bounds per live SM, of which the larger applies:
+        //
+        // * it still owes `max_remaining_insns` issues at one per cycle;
+        // * a warp blocked on memory cannot even wake before a response
+        //   crossbar delivery reaches the SM, and within the window only
+        //   fills *already in flight* can arrive (anything injected at
+        //   `c ≥ now` lands at `c + xbar_latency ≥ now + W`). No fill in
+        //   flight at all ⟹ the SM cannot finish inside any `W` we would
+        //   pick here, so the cap `w` stands.
+        //
+        // The second bound is what keeps windows wide across the drain
+        // tail, where warps sit on their last outstanding loads with
+        // `rem ≈ 0` for hundreds of cycles (DESIGN.md §18).
+        self.resp_xbar
+            .min_arrival_per_dst(&mut self.resp_arrival_buf);
+        let mut bound = 0u64;
+        for (i, sm) in self.sms.iter().enumerate() {
+            if sm.done() {
+                continue;
+            }
+            let mut d = sm.max_remaining_insns(w);
+            if d < w && sm.has_mem_blocked_warp() {
+                let fill = match self.resp_arrival_buf[i] {
+                    Some(arrive) => arrive.saturating_sub(now),
+                    None => w,
+                };
+                d = d.max(fill);
+            }
+            bound = bound.max(d);
+            if bound >= w {
+                return w;
+            }
+        }
+        bound.max(1)
+    }
+
+    /// Run the multi-cycle conservative epoch `[now, end)` (DESIGN.md §18):
+    /// pre-distribute every cross-partition delivery committed before the
+    /// window, free-run all partitions across the whole window in a single
+    /// pool hand-off, then replay the hub (SMs, crossbars, coordination)
+    /// serially cycle by cycle, merging the staged per-partition results in
+    /// exactly the serial loop's order.
+    fn run_epoch(&mut self, now: Cycle, end: Cycle) {
+        let trace_on = self.cfg.trace;
+        let coordinating = self.cfg.scheduler.coordinates();
+        self.sync_barriers += 1;
+        self.epoch_windows += 1;
+        self.epoch_cycles += end - now;
+        // --- opening barrier: pre-distribute committed deliveries ---
+        // Crossbar payloads due inside the window were all granted before
+        // it opened (flight order = grant order), so their contents are
+        // known here; only the exact delivery cycle under input
+        // back-pressure is not, and that is destination-local, so each
+        // partition replays its own. The global grant sequence number lets
+        // the closing merge reconstruct the serial delivery order.
+        {
+            let partitions = &mut self.partitions;
+            let mut seq = 0u64;
+            self.req_xbar
+                .drain_arrivals_before(end, |arrive, dst, req| {
+                    partitions[dst].epoch_arrivals.push_back((arrive, seq, req));
+                    seq += 1;
+                });
+            if coordinating {
+                self.coord.drain_due_before(end, |deliver_at, dst, msg| {
+                    partitions[dst].epoch_coord_in.push_back((deliver_at, msg));
+                });
+            }
+        }
+        // --- free-run: one barrier for the whole window ---
+        self.each_partition(|p| p.free_run(now, end, coordinating, trace_on));
+        // --- hub replay: serial, cycle-exact ---
+        for c in now..end {
+            if coordinating {
+                // Broadcast the coordination messages the controllers
+                // emitted at cycle `c`, in channel order — the serial
+                // loop's phase-B position and order.
+                for (i, p) in self.partitions.iter_mut().enumerate() {
+                    while let Some(&(tag, _)) = p.epoch_coord.front() {
+                        if tag > c {
+                            break;
+                        }
+                        let (tag, m) = p.epoch_coord.pop_front().unwrap();
+                        self.coord.broadcast(i, m, tag);
+                    }
+                }
+                // W ≤ coord_latency: nothing broadcast before the window
+                // (pre-distributed) or during it (lands ≥ end) can deliver
+                // at `c`.
+                debug_assert!(self.coord.next_event(c).is_none_or(|d| d > c));
+            }
+            if trace_on {
+                // Serve events staged at cycle `c`, in channel order.
+                for p in &mut self.partitions {
+                    while let Some(&(tag, _)) = p.epoch_events.front() {
+                        if tag > c {
+                            break;
+                        }
+                        let (_, e) = p.epoch_events.pop_front().unwrap();
+                        self.wg_events.push(e);
+                    }
+                }
+            }
+            // This cycle's read deliveries, merged across partitions by
+            // global grant sequence — the flight queue is always a
+            // grant-order subsequence, so within a cycle the serial loop
+            // delivers in ascending seq.
+            loop {
+                let mut best: Option<(usize, u64)> = None;
+                for (i, p) in self.partitions.iter().enumerate() {
+                    if let Some(&(tag, seq, _)) = p.epoch_arrive_log.front() {
+                        if tag == c && best.is_none_or(|(_, bs)| seq < bs) {
+                            best = Some((i, seq));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else { break };
+                let (_, _, wg) = self.partitions[i].epoch_arrive_log.pop_front().unwrap();
+                self.mem_read_requests += 1;
+                if trace_on {
+                    self.wg_events.push(WgEvent {
+                        cycle: c,
+                        wg,
+                        channel: i as u8,
+                        stage: WgStage::Arrive,
+                    });
+                }
+            }
+            // Partition -> response crossbar: entries staged at or before
+            // `c` (later-staged entries wait for their cycle).
+            for (pi, p) in self.partitions.iter_mut().enumerate() {
+                while let Some(&(tag, sm, _)) = p.to_sm.front() {
+                    if tag > c || self.resp_xbar.free_space(pi) == 0 {
+                        break;
+                    }
+                    let (_, _, resp) = p.to_sm.pop_front().unwrap();
+                    if !self.resp_xbar.inject(pi, sm, resp) {
+                        self.lost_requests += 1;
+                    }
+                }
+            }
+            // Response crossbar -> SMs (SMs always accept fills).
+            let sms = &mut self.sms;
+            let resp_count = &mut self.mem_read_responses;
+            self.resp_xbar.tick(
+                c,
+                |_| true,
+                |sm, resp| {
+                    *resp_count += 1;
+                    sms[sm].accept_response(resp, c);
+                },
+            );
+            // SMs issue.
+            for (si, sm) in self.sms.iter_mut().enumerate() {
+                self.sm_out.clear();
+                let free = self.req_xbar.free_space(si);
+                sm.tick(c, free, &mut self.sm_out);
+                for r in self.sm_out.drain(..) {
+                    let dst = r.decoded.channel.0 as usize;
+                    if !self.req_xbar.inject(si, dst, r) {
+                        self.lost_requests += 1;
+                    }
+                }
+            }
+            // Request crossbar: grants and arbitration only — every
+            // delivery due inside the window was pre-distributed, and
+            // W ≤ xbar_latency keeps in-window grants from arriving
+            // before `end`.
+            self.req_xbar.tick(
+                c,
+                |_| unreachable!("epoch window leaked a request-crossbar delivery"),
+                |_, _| unreachable!("epoch window leaked a request-crossbar delivery"),
+            );
+        }
+        // --- closing: re-inject arrivals the window closed on (input full
+        // through `end`) so the next window pre-distributes them again.
+        // Reverse grant order restores the flight queue's grant order in
+        // front of anything granted during the replay. ---
+        let mut leftovers: Vec<(Cycle, u64, ldsim_types::req::MemRequest)> = Vec::new();
+        for p in &mut self.partitions {
+            while let Some(x) = p.epoch_arrivals.pop_front() {
+                leftovers.push(x);
+            }
+            debug_assert!(p.epoch_coord_in.is_empty());
+            debug_assert!(p.epoch_coord.is_empty());
+            debug_assert!(p.epoch_events.is_empty());
+            debug_assert!(p.epoch_arrive_log.is_empty());
+        }
+        leftovers.sort_unstable_by_key(|&(_, seq, _)| std::cmp::Reverse(seq));
+        for (arrive, _, req) in leftovers {
+            let dst = req.decoded.channel.0 as usize;
+            self.req_xbar.requeue_front(arrive, dst, req);
+        }
+    }
+
     /// Advance the machine one cycle.
     ///
     /// The cycle opens with the partition epoch — the only work the
@@ -300,6 +651,11 @@ impl Simulator {
     /// reference loop.
     pub fn step(&mut self, now: Cycle) {
         let trace_on = self.cfg.trace;
+        self.sync_barriers += if self.cfg.scheduler.coordinates() {
+            2
+        } else {
+            1
+        };
         // --- partition epoch: memory controllers + L2 slices ---
         if self.cfg.scheduler.coordinates() {
             // The coordination network (WG-M family) couples partitions
@@ -310,7 +666,8 @@ impl Simulator {
             // then the serve/L2 phase runs.
             self.each_partition(|p| p.epoch_ctrl_tick(now, true));
             for (i, p) in self.partitions.iter_mut().enumerate() {
-                for m in p.epoch_coord.drain(..) {
+                for (tag, m) in p.epoch_coord.drain(..) {
+                    debug_assert_eq!(tag, now, "per-cycle step saw a stale staged message");
                     self.coord.broadcast(i, m, now);
                 }
             }
@@ -331,16 +688,20 @@ impl Simulator {
             // Merge staged Serve events in channel-id order — the same
             // order the serial loop emits them in.
             for p in &mut self.partitions {
-                self.wg_events.append(&mut p.epoch_events);
+                self.wg_events
+                    .extend(p.epoch_events.drain(..).map(|(_, e)| e));
             }
         }
-        // Partition -> response crossbar.
+        // Partition -> response crossbar. Tags can lag `now` (entries a
+        // full crossbar left queued, or staged by an earlier epoch window)
+        // but never lead it.
         for (pi, p) in self.partitions.iter_mut().enumerate() {
-            while let Some(&(sm, _)) = p.to_sm.front() {
+            while let Some(&(tag, sm, _)) = p.to_sm.front() {
+                debug_assert!(tag <= now);
                 if self.resp_xbar.free_space(pi) == 0 {
                     break;
                 }
-                let (_, resp) = p.to_sm.pop_front().unwrap();
+                let (_, _, resp) = p.to_sm.pop_front().unwrap();
                 if !self.resp_xbar.inject(pi, sm, resp) {
                     self.lost_requests += 1;
                 }
@@ -800,6 +1161,97 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn epoch_windows_amortize_barriers_and_stay_bit_exact() {
+        // Programs long enough that the run-exit lookahead doesn't cap the
+        // window below the crossbar/coordination bounds.
+        let kernel = tiny_kernel(6, 24);
+        let mk = |k: SchedulerKind| {
+            SimConfig {
+                max_cycles: 4_000_000,
+                ..SimConfig::default()
+            }
+            .with_scheduler(k)
+            .with_trace()
+            .with_sim_threads(2)
+        };
+        // Non-coordinating: the window bound is the crossbar latency, so
+        // barriers shrink by an order of magnitude or more.
+        let cfg = mk(SchedulerKind::Gmc);
+        let (r, s) = Simulator::new(cfg.clone(), &kernel).run_with_sync_stats();
+        let (rb, sb) = Simulator::new(cfg.clone().with_epoch_max(1), &kernel).run_with_sync_stats();
+        assert_eq!(r, rb, "window size must never change results");
+        assert_eq!(sb.windows, 0, "epoch_max = 1 forces the per-cycle cadence");
+        assert!(s.windows > 0, "auto epochs must engage multi-cycle windows");
+        assert!(
+            s.epoch_cycles / s.windows <= cfg.gpu.xbar_latency,
+            "mean window {} exceeds the crossbar lookahead",
+            s.epoch_cycles / s.windows
+        );
+        assert!(
+            sb.barriers >= 10 * s.barriers,
+            "barriers: per-cycle {} vs epoch {}",
+            sb.barriers,
+            s.barriers
+        );
+        // An explicit cap bounds the window without changing results.
+        let (rc, sc) = Simulator::new(cfg.clone().with_epoch_max(4), &kernel).run_with_sync_stats();
+        assert_eq!(rc, r, "epoch_max cap changed results");
+        assert!(sc.windows > 0 && sc.epoch_cycles / sc.windows <= 4);
+
+        // Coordinating: the window is additionally bounded by coord_latency
+        // (4), so the ceiling is 2 barriers/cycle -> 1 per 4 cycles = 8x;
+        // assert the >= 4x the CI gate uses.
+        let cfg = mk(SchedulerKind::WgW);
+        let (r, s) = Simulator::new(cfg.clone(), &kernel).run_with_sync_stats();
+        let (rb, sb) = Simulator::new(cfg.clone().with_epoch_max(1), &kernel).run_with_sync_stats();
+        assert_eq!(r, rb, "WgW window size must never change results");
+        assert!(
+            s.epoch_cycles / s.windows.max(1) <= cfg.mem.coord_latency,
+            "coordinating window exceeds the coordination lookahead"
+        );
+        assert!(
+            sb.barriers >= 4 * s.barriers,
+            "WgW barriers: per-cycle {} vs epoch {}",
+            sb.barriers,
+            s.barriers
+        );
+    }
+
+    #[test]
+    fn serial_runs_never_use_epoch_windows() {
+        // threads = 1 stays the pure per-cycle reference loop even with
+        // epochs nominally enabled (epoch_max = 0 auto).
+        let kernel = tiny_kernel(4, 6);
+        let cfg = SimConfig {
+            max_cycles: 2_000_000,
+            ..SimConfig::default()
+        }
+        .with_sim_threads(1);
+        let (r, s) = Simulator::new(cfg, &kernel).run_with_sync_stats();
+        assert!(r.finished);
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.epoch_cycles, 0);
+    }
+
+    #[test]
+    fn zero_divergence_disables_epoch_windows() {
+        // The global first-arrival set is fed in cross-partition delivery
+        // order, which a partition-local free-run cannot replay.
+        let kernel = tiny_kernel(6, 8);
+        let cfg = SimConfig {
+            max_cycles: 2_000_000,
+            ..SimConfig::default()
+        }
+        .with_scheduler(SchedulerKind::ZeroDivergence)
+        .with_sim_threads(2);
+        let (r, s) = Simulator::new(cfg.clone(), &kernel).run_with_sync_stats();
+        assert!(r.finished);
+        assert_eq!(s.windows, 0, "zero-div must stay per-cycle");
+        let serial = Simulator::new(cfg.with_sim_threads(1), &kernel).run();
+        assert_eq!(r, serial);
     }
 
     #[test]

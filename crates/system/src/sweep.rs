@@ -193,12 +193,13 @@ fn scale_ord(s: ldsim_workloads::Scale) -> u8 {
 /// wire format; append new fields at the end of their section and bump
 /// [`ENGINE_SALT`] only if the *semantics* changed.
 pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
-    // Two deliberate exclusions: `instruction_limit`, which the runner
+    // Three deliberate exclusions: `instruction_limit`, which the runner
     // derives deterministically from (benchmark, scale, seed) — already
-    // part of the cell key — and `sim_threads`, which is execution
-    // strategy, not semantics: the threaded partition pool is pinned
-    // bit-exact against the serial loop (tests/threaded.rs), so a cached
-    // cell is valid at any thread count.
+    // part of the cell key — and `sim_threads` / `epoch_max`, which are
+    // execution strategy, not semantics: the threaded partition pool and
+    // its multi-cycle epoch windows are pinned bit-exact against the
+    // serial loop (tests/threaded.rs), so a cached cell is valid at any
+    // thread count and any epoch cadence.
     let SimConfig {
         gpu,
         mem,
@@ -212,6 +213,7 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
         fast_forward,
         hist,
         sim_threads: _,
+        epoch_max: _,
     } = cfg;
     let mut h = Fnv64::new();
     // GPU side.

@@ -393,6 +393,16 @@ pub struct SimConfig {
     /// strategy, not semantics — it is deliberately excluded from the
     /// sweep cache's `config_fingerprint`.
     pub sim_threads: usize,
+    /// Upper bound on the multi-cycle conservative epoch window: how many
+    /// cycles the threaded partition pool may free-run between barriers
+    /// (DESIGN.md §18). `0` means auto — the full crossbar-latency
+    /// lookahead; `1` forces the per-cycle barrier cadence (the PR-8
+    /// behaviour, useful for A/B measurement); any other value caps the
+    /// window, which is always additionally clamped to the safe lookahead
+    /// bounds. Epoch runs are bit-exact with serial ones, so like
+    /// `sim_threads` this is execution strategy, not semantics, and is
+    /// excluded from `config_fingerprint`.
+    pub epoch_max: Cycle,
 }
 
 impl Default for SimConfig {
@@ -410,6 +420,7 @@ impl Default for SimConfig {
             fast_forward: true,
             hist: false,
             sim_threads: 0,
+            epoch_max: 0,
         }
     }
 }
@@ -455,6 +466,13 @@ impl SimConfig {
     /// [`SimConfig::sim_threads`]). `0` defers to the process-wide setting.
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
         self.sim_threads = threads;
+        self
+    }
+
+    /// Cap the multi-cycle epoch window (see [`SimConfig::epoch_max`]).
+    /// `0` = auto (full lookahead), `1` = per-cycle barriers.
+    pub fn with_epoch_max(mut self, cap: Cycle) -> Self {
+        self.epoch_max = cap;
         self
     }
 

@@ -6,7 +6,7 @@
 use ldsim::gddr5::Channel;
 use ldsim::types::addr::AddressMapper;
 use ldsim::types::clock::ClockDomain;
-use ldsim::types::config::{MemConfig, PagePolicy, SimConfig, TimingParams};
+use ldsim::types::config::{MemConfig, PagePolicy, SchedulerKind, SimConfig, TimingParams};
 use ldsim::types::ids::BankId;
 use ldsim::util::StdRng;
 
@@ -151,6 +151,81 @@ fn merb_monotone() {
             assert!(m.get(b) >= m.get(b + 1), "case {case}, banks {b}");
             assert!(m.get(b) <= 31, "case {case}, banks {b}");
         }
+    }
+}
+
+/// Conservative-epoch lookahead stays sound under randomized timings.
+///
+/// The multi-cycle epoch free-run (DESIGN.md §18) trusts every component's
+/// `next_event(now)` to never exceed its actual next state change — that is
+/// what licenses skipping locally-idle stretches inside a window. Sample
+/// random legal timing configs, with the refresh interval shrunk far below
+/// its datasheet value so refresh edges land *inside* epoch windows, and
+/// demand that a threaded epoch run stays bit-exact (every counter, every
+/// histogram bucket, the FNV trace hash) with the serial per-cycle loop,
+/// protocol auditor armed. An optimistic `next_event` anywhere — bank FSM,
+/// refresh scheduler, controller queues, L2 latency pipe — diverges the
+/// two runs or trips a debug assertion.
+#[test]
+fn epoch_lookahead_sound_under_random_timings() {
+    use ldsim::system::Simulator;
+    use ldsim::workloads::{benchmark, Scale};
+
+    let mut rng = StdRng::seed_from_u64(0xE90C);
+    let cases = if cfg!(debug_assertions) { 3 } else { 8 };
+    for case in 0..cases {
+        let mut tp = TimingParams::default();
+        // Independent draws, with the row-cycle chain kept legal by
+        // construction: tRAS covers open-to-restore, tRC = tRAS + tRP.
+        tp.t_rcd_ns = rand_f64(&mut rng, 8.0, 18.0);
+        tp.t_rp_ns = rand_f64(&mut rng, 8.0, 18.0);
+        tp.t_cas_ns = rand_f64(&mut rng, 8.0, 18.0);
+        tp.t_rtp_ns = rand_f64(&mut rng, 1.0, 4.0);
+        tp.t_wr_ns = rand_f64(&mut rng, 8.0, 16.0);
+        tp.t_wtr_ns = rand_f64(&mut rng, 2.0, 8.0);
+        tp.t_rrd_ns = rand_f64(&mut rng, 3.0, 9.0);
+        tp.t_faw_ns = rand_f64(&mut rng, 15.0, 40.0);
+        tp.t_ras_ns = tp.t_rcd_ns + tp.t_rtp_ns + rand_f64(&mut rng, 4.0, 12.0);
+        tp.t_rc_ns = tp.t_ras_ns + tp.t_rp_ns;
+        // Refresh every few hundred ns instead of 1.9 µs: dozens of
+        // refresh edges per run, many of them mid-window.
+        tp.t_refi_ns = rand_f64(&mut rng, 200.0, 900.0);
+        tp.t_rfc_ns = rand_f64(&mut rng, 60.0, 140.0);
+
+        let (bench, kind) = if case % 2 == 0 {
+            ("bfs", SchedulerKind::Gmc)
+        } else {
+            ("spmv", SchedulerKind::WgW)
+        };
+        let mut cfg = SimConfig::default()
+            .with_scheduler(kind)
+            .with_audit()
+            .with_trace()
+            .with_hist();
+        cfg.mem.timing = tp;
+        let kernel = benchmark(bench, Scale::Tiny, 90 + case as u64).generate();
+
+        let (serial, serial_trace) =
+            Simulator::new(cfg.clone().with_sim_threads(1), &kernel).run_traced();
+        assert!(serial.finished, "case {case}: serial hit the cycle limit");
+        assert_eq!(serial.audit_violations, 0, "case {case}: serial audit");
+
+        let (epoch, epoch_trace) =
+            Simulator::new(cfg.clone().with_sim_threads(2), &kernel).run_traced();
+        assert_eq!(epoch, serial, "case {case} ({bench}/{kind:?}): diverged");
+        assert_eq!(
+            epoch_trace.as_ref().map(|t| t.stable_hash()),
+            serial_trace.as_ref().map(|t| t.stable_hash()),
+            "case {case} ({bench}/{kind:?}): trace hash diverged"
+        );
+
+        // The comparison is only evidence if epochs actually ran.
+        let (_, stats) =
+            Simulator::new(cfg.clone().with_sim_threads(2), &kernel).run_with_sync_stats();
+        assert!(
+            stats.windows > 0,
+            "case {case}: no epoch windows opened — the property was not exercised"
+        );
     }
 }
 

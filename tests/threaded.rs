@@ -97,6 +97,82 @@ fn threaded_spot_check_small() {
     );
 }
 
+/// Every epoch cadence is the same simulation: the auto crossbar-lookahead
+/// window (the threaded default, what the ladder above runs), a forced
+/// per-cycle cadence (`epoch_max = 1`, the pre-epoch behaviour), and an
+/// intermediate cap must all reproduce the serial run bit for bit — same
+/// `RunResult`, same trace hash — at every pool width.
+#[test]
+fn epoch_cadences_are_bit_exact_tiny() {
+    parallel_map(
+        vec![
+            ("bfs", SchedulerKind::Gmc),
+            ("spmv", SchedulerKind::WgW),
+            ("sssp", SchedulerKind::WgBw),
+        ],
+        |(bench, kind)| {
+            let kernel = benchmark(bench, Scale::Tiny, 11).generate();
+            let cfg = SimConfig::default()
+                .with_scheduler(kind)
+                .with_audit()
+                .with_trace()
+                .with_hist();
+            let (serial, serial_trace) =
+                Simulator::new(cfg.clone().with_sim_threads(1), &kernel).run_traced();
+            assert!(serial.finished, "{bench}/{kind:?} did not finish");
+            for &threads in &THREADS[1..] {
+                for cap in [0, 1, 4] {
+                    let (run, trace) = Simulator::new(
+                        cfg.clone().with_sim_threads(threads).with_epoch_max(cap),
+                        &kernel,
+                    )
+                    .run_traced();
+                    assert_eq!(
+                        run, serial,
+                        "{bench}/{kind:?} threads={threads} epoch_max={cap}: diverged"
+                    );
+                    assert_eq!(
+                        trace.as_ref().map(|t| t.stable_hash()),
+                        serial_trace.as_ref().map(|t| t.stable_hash()),
+                        "{bench}/{kind:?} threads={threads} epoch_max={cap}: trace hash"
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// The point of the epochs, pinned end to end on a real workload: against
+/// the forced per-cycle cadence, the auto window must cut barrier count by
+/// an order of magnitude for a non-coordinating scheduler (40-cycle
+/// crossbar lookahead) and by at least 4x for a coordinating one (whose
+/// window is clamped to the 4-cycle coordination latency, against a
+/// per-cycle cost of two barriers per cycle).
+#[test]
+fn epoch_windows_reduce_barriers_on_real_workloads() {
+    for (kind, factor) in [(SchedulerKind::Gmc, 10), (SchedulerKind::WgW, 4)] {
+        let kernel = benchmark("bfs", Scale::Tiny, 11).generate();
+        let cfg = SimConfig::default()
+            .with_scheduler(kind)
+            .with_sim_threads(2);
+        let (r_epoch, epoch) = Simulator::new(cfg.clone(), &kernel).run_with_sync_stats();
+        let (r_cycle, cycle) =
+            Simulator::new(cfg.clone().with_epoch_max(1), &kernel).run_with_sync_stats();
+        assert_eq!(r_epoch, r_cycle, "{kind:?}: cadences must agree exactly");
+        assert!(epoch.windows > 0, "{kind:?}: epochs never engaged");
+        assert_eq!(
+            cycle.windows, 0,
+            "{kind:?}: epoch_max=1 must stay per-cycle"
+        );
+        assert!(
+            cycle.barriers >= factor * epoch.barriers,
+            "{kind:?}: expected a {factor}x barrier cut, got {} vs {}",
+            cycle.barriers,
+            epoch.barriers
+        );
+    }
+}
+
 /// `sim_threads` must not enter the cell fingerprint: it changes how a
 /// cell is executed, not what it computes (the ladder above is the proof),
 /// so a cached cell is valid at any thread count.
@@ -116,6 +192,21 @@ fn sim_threads_is_fingerprint_exempt() {
         base,
         config_fingerprint(&SimConfig::default().with_fast_forward(false))
     );
+}
+
+/// `epoch_max` earns the same exemption for the same reason: the cadence
+/// tests above prove every window length computes the identical cell, so a
+/// cached result is valid under any epoch cap.
+#[test]
+fn epoch_max_is_fingerprint_exempt() {
+    let base = config_fingerprint(&SimConfig::default());
+    for cap in [0, 1, 4, 40] {
+        assert_eq!(
+            base,
+            config_fingerprint(&SimConfig::default().with_epoch_max(cap)),
+            "epoch_max={cap} must not change the config fingerprint"
+        );
+    }
 }
 
 /// End to end through the sweep: a cell simulated serially and reloaded
