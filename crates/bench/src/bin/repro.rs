@@ -4,9 +4,11 @@
 //! All registered figure grids are deduped into one unique-cell work list,
 //! simulated in a single work-stealing pass, and rendered from the shared
 //! store — the same bytes every standalone figure binary writes, produced
-//! once. Completed cells persist in a content-addressed cache
-//! (`<out>/cellcache.jsonl`), so an interrupted run resumes where it died
-//! and a warm rerun re-renders everything without simulating at all.
+//! once. Completed cells persist in a content-addressed sharded cache
+//! (`<out>/cellcache/`), so an interrupted run resumes where it died and a
+//! warm rerun re-renders everything without simulating at all. The same
+//! store backs the long-running `ldsim-server` farm, so farm rows and
+//! local rows are interchangeable.
 //!
 //! ```text
 //! repro [tiny|small|full] [--seed N] [--jobs N] [--threads N]
@@ -113,9 +115,9 @@ fn main() {
         specs.retain(|s| names.iter().any(|n| n == s.name));
     }
 
-    let cache = out.join("cellcache.jsonl");
+    let cache = out.join("cellcache");
     if cold {
-        match std::fs::remove_file(&cache) {
+        match std::fs::remove_dir_all(&cache) {
             Ok(()) => println!("cold start: removed {}", cache.display()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => panic!("cannot remove {}: {e}", cache.display()),
@@ -134,6 +136,7 @@ fn main() {
         cache_path: Some(&cache),
         salt: ENGINE_SALT,
         max_simulated,
+        shards: ldsim_system::DEFAULT_SHARDS,
     };
     println!(
         "repro: {} figure(s) at {scale:?}, seed {seed}, {} worker(s) x {} sim thread(s), cache {}",

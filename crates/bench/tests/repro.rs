@@ -151,7 +151,10 @@ fn crashed_repro_resumes_to_identical_bytes() {
         !crashed.join("fig02.jsonl").exists(),
         "interrupted run must not render partial figures"
     );
-    assert!(crashed.join("cellcache.jsonl").exists());
+    assert!(
+        crashed.join("cellcache").join("shards.meta").exists(),
+        "the binary writes the sharded store"
+    );
 
     let out = repro(&[&common[..], &["--out", c, "--resume"]].concat(), &[]);
     assert!(out.status.success(), "resume failed: {out:?}");
@@ -178,7 +181,7 @@ fn repro_cold_deletes_cache_and_hist_is_rejected() {
     let d = dir.to_str().unwrap();
     let out = repro(&["tiny", "--only", "fig12", "--out", d], &[]);
     assert!(out.status.success(), "{out:?}");
-    assert!(dir.join("cellcache.jsonl").exists());
+    assert!(dir.join("cellcache").join("shards.meta").exists());
     let out = repro(&["tiny", "--only", "fig12", "--out", d, "--cold"], &[]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -1,0 +1,96 @@
+//! The sweep farm daemon: bind a port, open the sharded cell store, serve
+//! jobs until killed. See DESIGN.md §19 and `ldsim-client` for the other
+//! side of the wire.
+
+use ldsim_bench::{cli_fail, cli_parse, cli_pos, cli_value};
+use ldsim_server::{spawn_server, Exec, ExecConfig};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+const USAGE: &str = "ldsim-server [--port N] [--cache DIR] [--shards N] [--jobs N] \
+     [--threads N] [--max-inflight N] [--queue N]";
+
+fn main() {
+    let mut port: u16 = 7717;
+    let mut cfg = ExecConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                let v = cli_value(&args, i, "--port", USAGE);
+                // 0 is legal here: bind ephemeral and print the real port.
+                port = cli_parse(v, "--port", "a port number (0-65535)", USAGE);
+                i += 1;
+            }
+            "--cache" => {
+                cfg.cache_dir = PathBuf::from(cli_value(&args, i, "--cache", USAGE));
+                i += 1;
+            }
+            "--shards" => {
+                let v = cli_value(&args, i, "--shards", USAGE);
+                let n = cli_pos(v, "--shards", USAGE);
+                if n > ldsim_system::shard::MAX_SHARDS {
+                    cli_fail(
+                        USAGE,
+                        &format!(
+                            "--shards must be at most {}, got '{v}'",
+                            ldsim_system::shard::MAX_SHARDS
+                        ),
+                    );
+                }
+                cfg.shards = n;
+                i += 1;
+            }
+            "--jobs" => {
+                let v = cli_value(&args, i, "--jobs", USAGE);
+                cfg.workers = cli_pos(v, "--jobs", USAGE);
+                i += 1;
+            }
+            "--threads" => {
+                let v = cli_value(&args, i, "--threads", USAGE);
+                ldsim_util::set_sim_threads(Some(cli_pos(v, "--threads", USAGE)));
+                i += 1;
+            }
+            "--max-inflight" => {
+                let v = cli_value(&args, i, "--max-inflight", USAGE);
+                cfg.max_inflight = cli_pos(v, "--max-inflight", USAGE);
+                i += 1;
+            }
+            "--queue" => {
+                let v = cli_value(&args, i, "--queue", USAGE);
+                cfg.queue_cap = cli_pos(v, "--queue", USAGE);
+                i += 1;
+            }
+            other => cli_fail(USAGE, &format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let exec = Exec::start(cfg);
+    let handle = match spawn_server(exec, port) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = handle.exec.config();
+    println!(
+        "ldsim-server listening on 127.0.0.1:{} (cache {}, {} shards, {} workers, \
+         max-inflight {}, queue {}, {} cached row(s), salt {})",
+        handle.port,
+        cfg.cache_dir.display(),
+        cfg.shards,
+        cfg.workers,
+        cfg.max_inflight,
+        cfg.queue_cap,
+        handle.exec.indexed_rows(),
+        ldsim_system::ENGINE_SALT
+    );
+    // Scripts (and the CI e2e job) wait for the line above on a pipe.
+    std::io::stdout().flush().expect("stdout");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

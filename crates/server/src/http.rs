@@ -1,0 +1,250 @@
+//! The hand-rolled HTTP/1.1 subset `ldsim-server` speaks (DESIGN.md §19).
+//!
+//! The build environment is fully offline — no external crates resolve —
+//! so the wire layer is written against `std::io` directly, and kept to
+//! the minimum a farm client needs: one request per connection,
+//! `Connection: close`, `Content-Length`-framed request bodies, and two
+//! response shapes (a JSON object with a length, or an unbounded JSONL
+//! stream whose body ends when the server closes the socket). Keeping the
+//! subset this small is what makes the protocol error paths *testable*:
+//! every deviation maps to exactly one named 4xx/5xx reply.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers). A client
+/// that has not produced a blank line by then is not speaking the subset.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body. The largest legitimate job submission
+/// (every figure name, spelled out) is under 1 KiB; 1 MiB is generous
+/// headroom, and anything past it earns a named `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+/// Why a request could not be read. Each variant maps to one named HTTP
+/// reply in the server's accept loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Malformed request line, header, or framing → `400`.
+    BadRequest(String),
+    /// Head or body over the hard caps → `413`.
+    TooLarge(String),
+    /// The socket died mid-read → drop the connection, nothing to say.
+    Io(String),
+}
+
+/// Read one request from `stream`. Generic over [`Read`] so the parser's
+/// error paths are unit-testable against byte slices, not just sockets.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    // Request line + headers, terminated by an empty line.
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| RequestError::Io(format!("read: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Io("connection closed mid-head".into()));
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge(format!(
+                "request head over {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(RequestError::BadRequest(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::BadRequest(format!(
+            "unsupported protocol version: {version:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::BadRequest(format!(
+                "malformed header line: {line:?}"
+            )));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                RequestError::BadRequest(format!("bad content-length: {:?}", value.trim()))
+            })?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(format!(
+            "request body of {content_length} bytes over the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| RequestError::Io(format!("read body: {e}")))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::BadRequest("request body is not UTF-8".into()))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Write a complete JSON response (status line, headers, body) and flush.
+/// Write errors are returned to the caller, who treats them as "client
+/// went away" — never fatal to the server.
+pub fn respond_json<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Write the head of a streaming JSONL response. No `Content-Length`: the
+/// body is over when the server closes the socket, and the framing trailer
+/// (`{"done":true,...}`) is how a client distinguishes a complete stream
+/// from a truncated one.
+pub fn stream_head<W: Write>(stream: &mut W) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(raw: &str) -> Result<Request, RequestError> {
+        read_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_minimal_post() {
+        let r =
+            req("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/jobs");
+        assert_eq!(r.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let r = req("GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        // Curl always sends CRLF, but hand-written test clients often
+        // don't; the parser is liberal on input line endings.
+        let r = req("GET /v1/health HTTP/1.0\n\n").unwrap();
+        assert_eq!(r.path, "/v1/health");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_named() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+        ] {
+            match req(raw) {
+                Err(RequestError::BadRequest(_)) => {}
+                other => panic!("{raw:?} should be BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_content_length_is_bad_request() {
+        let e = req("POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert!(matches!(e, RequestError::BadRequest(_)), "{e:?}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_too_large() {
+        let e = req(&format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ))
+        .unwrap_err();
+        assert!(matches!(e, RequestError::TooLarge(_)), "{e:?}");
+    }
+
+    #[test]
+    fn oversized_head_is_too_large() {
+        let mut raw = String::from("GET /v1/health HTTP/1.1\r\n");
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.push_str("X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        raw.push_str("\r\n");
+        let e = req(&raw).unwrap_err();
+        assert!(matches!(e, RequestError::TooLarge(_)), "{e:?}");
+    }
+
+    #[test]
+    fn truncated_body_is_io_not_a_hang() {
+        let e = req("POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}").unwrap_err();
+        assert!(matches!(e, RequestError::Io(_)), "{e:?}");
+    }
+
+    #[test]
+    fn response_writers_emit_wellformed_http() {
+        let mut buf = Vec::new();
+        respond_json(
+            &mut buf,
+            404,
+            "Not Found",
+            "{\"error\":\"unknown_endpoint\"}",
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 28\r\n"));
+        assert!(text.ends_with("{\"error\":\"unknown_endpoint\"}"));
+        let mut buf = Vec::new();
+        stream_head(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(!text.contains("Content-Length"), "streams are unbounded");
+    }
+}

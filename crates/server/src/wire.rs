@@ -1,0 +1,92 @@
+//! Minimal client side of the wire protocol, shared by the `ldsim-client`
+//! binary and the server's own integration tests — one implementation of
+//! "speak the subset", exercised from both ends.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One request/response round trip (`Connection: close`). Returns the
+/// status code and the response body.
+pub fn request(
+    host: &str,
+    port: u16,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect((host, port))
+        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send failed: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("receive failed: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response (no header terminator): {raw:?}"))?;
+    let status = parse_status(head)?;
+    Ok((status, body.to_string()))
+}
+
+/// Open a streaming GET: returns the status code and a reader positioned
+/// at the first body line.
+pub fn open_stream(
+    host: &str,
+    port: u16,
+    path: &str,
+) -> Result<(u16, BufReader<TcpStream>), String> {
+    let mut stream = TcpStream::connect((host, port))
+        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("receive failed: {e}"))?;
+    let status = parse_status(&status_line)?;
+    // Drain headers up to the blank line; the stream body follows.
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed inside response headers".into());
+        }
+        if line == "\r\n" || line == "\n" {
+            return Ok((status, reader));
+        }
+    }
+}
+
+fn parse_status(head: &str) -> Result<u16, String> {
+    let status_line = head.lines().next().unwrap_or("");
+    status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_lines_parse() {
+        assert_eq!(parse_status("HTTP/1.1 200 OK\r\n"), Ok(200));
+        assert_eq!(parse_status("HTTP/1.1 429 Too Many Requests"), Ok(429));
+        assert!(parse_status("ICY 200 OK").is_err());
+        assert!(parse_status("").is_err());
+    }
+}

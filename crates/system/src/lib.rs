@@ -24,6 +24,7 @@ pub mod partition;
 #[cfg(test)]
 mod partition_tests;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod sweep;
 pub mod table;
@@ -31,11 +32,12 @@ pub mod trace;
 
 pub use diff::{differential_check, DiffCell, DiffReport};
 pub use metrics::{RunHists, RunResult};
-pub use runner::{run_grid, run_one, run_opts, set_run_opts, GridCell, RunOpts};
+pub use runner::{run_grid, run_one, run_one_kernel, run_opts, set_run_opts, GridCell, RunOpts};
+pub use shard::{CompactStats, ShardMap};
 pub use sim::{Simulator, SyncStats};
 pub use sweep::{
-    config_fingerprint, run_sweep, Cell, CellStore, CfgTweak, FigureSpec, SweepConfig, SweepStats,
-    ENGINE_SALT,
+    config_fingerprint, run_sweep, salt_generation, Cell, CellStore, CfgTweak, FigureSpec,
+    SweepConfig, SweepStats, DEFAULT_SHARDS, ENGINE_SALT, ENGINE_SALT_HISTORY,
 };
 pub use table::Table;
 pub use trace::{Trace, WgEvent, WgStage};

@@ -92,9 +92,9 @@ pub fn run_one_with(
 }
 
 /// [`run_one_with`] on an already-generated kernel, so a grid (or the
-/// global sweep orchestrator) can share one generation per benchmark
-/// across scheduler cells.
-pub(crate) fn run_one_kernel(
+/// global sweep orchestrator, or `ldsim-server`'s cell executor) can share
+/// one generation per benchmark across scheduler cells.
+pub fn run_one_kernel(
     kernel: &KernelProgram,
     bench: &str,
     scale: Scale,

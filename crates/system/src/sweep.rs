@@ -63,6 +63,26 @@ use std::sync::Mutex;
 /// reviewers' guide: if they needed re-blessing, bump the salt.
 pub const ENGINE_SALT: &str = "ldsim-engine-2026-08-07";
 
+/// Every engine salt this repository has shipped, newest first — the
+/// *generation history* behind the shard compactor's eviction policy
+/// (DESIGN.md §19). When [`ENGINE_SALT`] is bumped, push the old value onto
+/// the front of the tail instead of deleting it: compaction keeps rows at
+/// generation 0 (current) and 1 (previous — a rollback or a mixed-version
+/// sweep farm can still serve them) and evicts anything older or unknown.
+/// The warm-start loader is stricter and only ever *serves* generation 0.
+pub const ENGINE_SALT_HISTORY: &[&str] = &[ENGINE_SALT];
+
+/// Generation distance of `salt` from the current engine: 0 = current,
+/// 1 = previous, `None` = unknown (foreign or pre-history).
+pub fn salt_generation(salt: &str) -> Option<usize> {
+    ENGINE_SALT_HISTORY.iter().position(|s| *s == salt)
+}
+
+/// Default shard count for directory-mode caches (the `repro` binary and
+/// `ldsim-server`). 8 shards keep individual files small at Full scale
+/// while staying trivial to eyeball in a directory listing.
+pub const DEFAULT_SHARDS: usize = 8;
+
 /// A data-only configuration variation — everything the figure/ablation
 /// grids tweak beyond the scheduler. Closed enum, not a closure: the sweep
 /// must be able to *hash* a cell's full configuration, and an arbitrary
@@ -403,8 +423,11 @@ pub struct FigureSpec {
 /// How a sweep executes: where the cache lives, which salt validates it,
 /// and the test-only crash injection.
 pub struct SweepConfig<'a> {
-    /// Cache file (`cellcache.jsonl`); `None` disables caching (the
+    /// Where completed cells persist; `None` disables caching (the
     /// standalone figure binaries, which must behave exactly as before).
+    /// A path ending in `.jsonl` is the legacy single-file log; any other
+    /// path is a *shard directory* ([`crate::shard::ShardMap`]) holding
+    /// [`Self::shards`] files partitioned by cellkey.
     pub cache_path: Option<&'a Path>,
     /// Salt cached rows must carry. Production always passes
     /// [`ENGINE_SALT`]; tests pass a different salt to prove invalidation.
@@ -412,6 +435,10 @@ pub struct SweepConfig<'a> {
     /// Stop after simulating this many cells (cache rows for them are
     /// already appended) — the crash-resume tests' kill switch.
     pub max_simulated: Option<usize>,
+    /// Shard count used when `cache_path` names a directory. Ignored for
+    /// single-file caches, and overridden by an existing directory's
+    /// `shards.meta` (the on-disk layout wins).
+    pub shards: usize,
 }
 
 impl Default for SweepConfig<'_> {
@@ -420,8 +447,15 @@ impl Default for SweepConfig<'_> {
             cache_path: None,
             salt: ENGINE_SALT,
             max_simulated: None,
+            shards: DEFAULT_SHARDS,
         }
     }
+}
+
+/// Whether a cache path selects the legacy single-file log (extension
+/// `.jsonl`) or a shard directory.
+fn is_single_file(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "jsonl")
 }
 
 /// What a sweep did, for logging and the resume/invalidation tests.
@@ -469,7 +503,15 @@ pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
 
     // Warm start: absorb every valid, currently-requested cache row.
     if let Some(path) = cfg.cache_path {
-        stats.skipped_lines = load_cache(path, cfg.salt, &by_key, opts, &mut store);
+        stats.skipped_lines = if is_single_file(path) {
+            load_cache(path, cfg.salt, &by_key, opts, &mut store)
+        } else {
+            let map = crate::shard::ShardMap::open(path, cfg.shards);
+            map.shard_paths()
+                .iter()
+                .map(|p| load_cache(p, cfg.salt, &by_key, opts, &mut store))
+                .sum()
+        };
         stats.from_cache = store.len();
     }
 
@@ -500,16 +542,20 @@ pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
         .collect();
 
     let appender = cfg.cache_path.map(|path| {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        if is_single_file(path) {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open cache {}: {e}", path.display()));
+            Appender::Single(Mutex::new(file))
+        } else {
+            Appender::Sharded(crate::shard::ShardMap::open(path, cfg.shards))
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .unwrap_or_else(|e| panic!("cannot open cache {}: {e}", path.display()));
-        Mutex::new(file)
     });
 
     let salt = cfg.salt;
@@ -523,7 +569,7 @@ pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
             cell.kind,
             |cfg| cell.tweak.apply(cfg),
         );
-        if let Some(file) = &appender {
+        if let Some(log) = &appender {
             assert!(
                 result.hists.is_none(),
                 "refusing to cache an armed-histogram run ({}/{:?}): \
@@ -533,11 +579,18 @@ pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
                 cell.kind
             );
             let row = cache_row(&cell, opts, salt, &result);
-            let mut f = file.lock().unwrap();
-            // One write per row: a crash tears at most the final line,
-            // which the loader skips.
-            f.write_all(row.as_bytes())
-                .unwrap_or_else(|e| panic!("cache append failed: {e}"));
+            match log {
+                Appender::Single(file) => {
+                    let mut f = file.lock().unwrap();
+                    // One write per row: a crash tears at most the final
+                    // line, which the loader skips.
+                    f.write_all(row.as_bytes())
+                        .unwrap_or_else(|e| panic!("cache append failed: {e}"));
+                }
+                // ShardMap::append opens-appends-closes under the hood, so
+                // concurrent workers only contend on the OS append lock.
+                Appender::Sharded(map) => map.append(cell.key(opts), &row),
+            }
         }
         (cell, result)
     });
@@ -552,8 +605,18 @@ pub fn run_sweep(cells: &[Cell], cfg: &SweepConfig) -> (CellStore, SweepStats) {
     (store, stats)
 }
 
-/// Serialise one completed cell as a self-describing cache line.
-fn cache_row(cell: &Cell, opts: RunOpts, salt: &str, result: &RunResult) -> String {
+/// Where finished cells are appended: the legacy single file, or one shard
+/// file per cellkey partition.
+enum Appender {
+    Single(Mutex<std::fs::File>),
+    Sharded(crate::shard::ShardMap),
+}
+
+/// Serialise one completed cell as a self-describing cache line — the wire
+/// format shared by the single-file log, the shard store, and the
+/// `ldsim-server` job results. Public so the server can persist cells it
+/// ran outside [`run_sweep`] in the identical format.
+pub fn cache_row(cell: &Cell, opts: RunOpts, salt: &str, result: &RunResult) -> String {
     let result_json = result.to_json();
     format!(
         "{{\"cellkey\":\"{:016x}\",\"engine\":\"{}\",\"scale\":\"{:?}\",\"seed\":{},\
@@ -596,8 +659,10 @@ fn load_cache(
 
 /// Validate one cache line: parses, salt matches, its key re-derives from a
 /// requested cell, and the stored benchmark/config agree with that cell
-/// (belt and braces against key collisions and hand-edited files).
-fn parse_cache_line(
+/// (belt and braces against key collisions and hand-edited files). Public
+/// for the same reason as [`cache_row`]: the server's dedupe path trusts a
+/// disk row only after it passes exactly this check.
+pub fn parse_cache_line(
     line: &str,
     salt: &str,
     requested: &FnvHashMap<u64, Cell>,
@@ -1027,5 +1092,118 @@ mod tests {
     fn undeclared_cell_lookup_panics() {
         let store = CellStore::new(RunOpts::default());
         store.get(&cell(SchedulerKind::Gmc));
+    }
+
+    #[test]
+    fn salt_history_starts_at_the_current_salt_and_stays_key_safe() {
+        // The compactor's generation arithmetic and the CI cache key both
+        // hang off this list: generation 0 must be ENGINE_SALT itself,
+        // every entry must be unique, and every entry must stay shell- and
+        // cache-key-safe (scripts/engine_salt.sh interpolates it raw).
+        assert_eq!(ENGINE_SALT_HISTORY[0], ENGINE_SALT);
+        assert_eq!(salt_generation(ENGINE_SALT), Some(0));
+        assert_eq!(salt_generation("never-shipped"), None);
+        for (i, s) in ENGINE_SALT_HISTORY.iter().enumerate() {
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "salt generation {i} is not key-safe: {s:?}"
+            );
+            assert_eq!(salt_generation(s), Some(i));
+        }
+        let mut uniq: Vec<&str> = ENGINE_SALT_HISTORY.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ENGINE_SALT_HISTORY.len(), "duplicate salt");
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_and_compaction_preserves_warm_reload() {
+        // The directory-mode cache must behave exactly like the single
+        // file: cold run populates the shards (rows routed by key), warm
+        // run simulates nothing and reloads bit-exact — and a compaction
+        // pass over a polluted store (stale-salt + torn rows appended to
+        // every shard) must shrink the files while leaving the warm reload
+        // byte-identical. This is the in-`cargo test` half of the CI
+        // compaction gate.
+        let _guard = crate::runner::test_opts_lock();
+        set_run_opts(RunOpts::default());
+        let dir = std::env::temp_dir().join(format!("ldsim-sharded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cellcache");
+        let cells = vec![
+            cell(SchedulerKind::Gmc),
+            cell(SchedulerKind::Wg),
+            cell(SchedulerKind::WgW),
+            Cell::new("spmv", Scale::Tiny, 7, SchedulerKind::Gmc),
+        ];
+        let cfg = SweepConfig {
+            cache_path: Some(&cache),
+            shards: 4,
+            ..SweepConfig::default()
+        };
+        let (store, stats) = run_sweep(&cells, &cfg);
+        assert_eq!(stats.simulated, 4);
+        let map = crate::shard::ShardMap::open(&cache, 4);
+        assert_eq!(map.shards(), 4);
+        // Rows landed in the shard their key maps to.
+        let opts = RunOpts::default();
+        let mut found = 0;
+        for (i, p) in map.shard_paths().iter().enumerate() {
+            for line in std::fs::read_to_string(p).unwrap_or_default().lines() {
+                let obj = ldsim_util::parse_object(line).unwrap();
+                let key = u64::from_str_radix(obj.req_str("cellkey").unwrap(), 16).unwrap();
+                assert_eq!(map.shard_of(key), i, "row in the wrong shard");
+                found += 1;
+            }
+        }
+        assert_eq!(found, 4, "one row per simulated cell across the shards");
+        assert!(cells.iter().all(|c| {
+            let k = c.key(opts);
+            map.shard_of(k) < 4
+        }));
+
+        // Warm reload: everything from cache, bit-exact.
+        let (warm, wstats) = run_sweep(&cells, &cfg);
+        assert_eq!(wstats.simulated, 0);
+        assert_eq!(wstats.from_cache, 4);
+        for c in &cells {
+            assert_eq!(warm.get(c), store.get(c));
+        }
+
+        // Pollute every shard with a stale-salt row and a torn row, then
+        // compact: files shrink back, reload still byte-exact.
+        for (i, p) in map.shard_paths().iter().enumerate() {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .unwrap();
+            let key = i as u64; // key i lands in shard i (i % 4 == i)
+            writeln!(
+                f,
+                "{{\"cellkey\":\"{key:016x}\",\"engine\":\"ldsim-engine-0000-00-00\",\"x\":1}}"
+            )
+            .unwrap();
+            write!(f, "{{\"cellkey\":\"dead").unwrap();
+        }
+        let polluted = map.total_bytes();
+        let cstats = map.compact(ENGINE_SALT_HISTORY);
+        assert_eq!(cstats.rows_kept, 4, "{cstats:?}");
+        assert_eq!(cstats.rows_stale, 4, "{cstats:?}");
+        assert_eq!(cstats.rows_torn, 4, "{cstats:?}");
+        assert!(cstats.bytes_after < polluted);
+        let (compacted, cwstats) = run_sweep(&cells, &cfg);
+        assert_eq!(cwstats.simulated, 0, "compaction must not lose cells");
+        assert_eq!(cwstats.from_cache, 4);
+        assert_eq!(cwstats.skipped_lines, 0, "compaction removed all junk");
+        for c in &cells {
+            assert_eq!(
+                compacted.get(c).to_json(),
+                store.get(c).to_json(),
+                "warm reload after compaction must be byte-exact"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
